@@ -1,0 +1,30 @@
+"""Shared machinery for the per-figure benchmark harness.
+
+Every bench regenerates one table/figure from the paper at ``QUICK`` scale
+(see ``repro.analysis.Scale``), prints the same rows/series the paper
+reports, and asserts the paper's *shape* claims (who wins, by roughly what
+factor, where crossovers fall).  Absolute numbers are expected to differ —
+the substrate is a simulator and synthetic traces, not the authors' 1998
+testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import QUICK, Scale, run_experiment
+
+
+def run_and_report(benchmark, experiment_id: str, scale: Scale = QUICK):
+    """Run one experiment under pytest-benchmark and verify its checks."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, scale), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    failures = [check for check in result.checks if check.startswith("FAIL")]
+    assert not failures, f"paper-shape checks failed: {failures}"
+    return result

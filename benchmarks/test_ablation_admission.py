@@ -1,0 +1,7 @@
+"""Bench: regenerate admission-limit ablation (experiment id abl-admission)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_admission(benchmark):
+    run_and_report(benchmark, "abl-admission")

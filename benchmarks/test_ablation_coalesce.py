@@ -1,0 +1,7 @@
+"""Bench: regenerate read-coalescing ablation (experiment id abl-coalesce)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_coalesce(benchmark):
+    run_and_report(benchmark, "abl-coalesce")

@@ -1,0 +1,7 @@
+"""Bench: regenerate replication-decay K ablation (experiment id abl-k)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_k(benchmark):
+    run_and_report(benchmark, "abl-k")

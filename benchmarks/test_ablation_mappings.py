@@ -1,0 +1,7 @@
+"""Bench: regenerate bounded-mapping-table ablation (experiment id abl-mappings)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_mappings(benchmark):
+    run_and_report(benchmark, "abl-mappings")

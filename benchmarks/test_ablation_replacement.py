@@ -1,0 +1,7 @@
+"""Bench: regenerate replacement-policy ablation (experiment id abl-replacement)."""
+
+from conftest import run_and_report
+
+
+def test_ablation_replacement(benchmark):
+    run_and_report(benchmark, "abl-replacement")

@@ -1,0 +1,7 @@
+"""Bench: the Section 2.6 failure/recovery extension experiment."""
+
+from conftest import run_and_report
+
+
+def test_ext_failure(benchmark):
+    run_and_report(benchmark, "ext-failure")

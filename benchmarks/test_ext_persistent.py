@@ -1,0 +1,7 @@
+"""Bench: the Section 5 persistent-connection policy extension."""
+
+from conftest import run_and_report
+
+
+def test_ext_persistent(benchmark):
+    run_and_report(benchmark, "ext-persistent")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 5 (Rice trace CDFs) (experiment id fig5)."""
+
+from conftest import run_and_report
+
+
+def test_fig05_rice_cdf(benchmark):
+    run_and_report(benchmark, "fig5")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 6 (IBM trace CDFs) (experiment id fig6)."""
+
+from conftest import run_and_report
+
+
+def test_fig06_ibm_cdf(benchmark):
+    run_and_report(benchmark, "fig6")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 7 (throughput vs cluster size, Rice) (experiment id fig7)."""
+
+from conftest import run_and_report
+
+
+def test_fig07_throughput_rice(benchmark):
+    run_and_report(benchmark, "fig7")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 8 (cache miss ratio vs cluster size, Rice) (experiment id fig8)."""
+
+from conftest import run_and_report
+
+
+def test_fig08_missratio_rice(benchmark):
+    run_and_report(benchmark, "fig8")

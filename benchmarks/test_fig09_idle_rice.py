@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 9 (idle time vs cluster size, Rice) (experiment id fig9)."""
+
+from conftest import run_and_report
+
+
+def test_fig09_idle_rice(benchmark):
+    run_and_report(benchmark, "fig9")

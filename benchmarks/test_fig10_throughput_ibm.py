@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 10 (throughput vs cluster size, IBM) (experiment id fig10)."""
+
+from conftest import run_and_report
+
+
+def test_fig10_throughput_ibm(benchmark):
+    run_and_report(benchmark, "fig10")

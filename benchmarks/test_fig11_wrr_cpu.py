@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 11 (WRR vs CPU speed) (experiment id fig11)."""
+
+from conftest import run_and_report
+
+
+def test_fig11_wrr_cpu(benchmark):
+    run_and_report(benchmark, "fig11")

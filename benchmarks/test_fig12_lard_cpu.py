@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 12 (LARD vs CPU speed) (experiment id fig12)."""
+
+from conftest import run_and_report
+
+
+def test_fig12_lard_cpu(benchmark):
+    run_and_report(benchmark, "fig12")

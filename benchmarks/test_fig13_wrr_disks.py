@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 13 (WRR vs disks per node) (experiment id fig13)."""
+
+from conftest import run_and_report
+
+
+def test_fig13_wrr_disks(benchmark):
+    run_and_report(benchmark, "fig13")

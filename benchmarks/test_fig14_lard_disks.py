@@ -1,0 +1,7 @@
+"""Bench: regenerate Figure 14 (LARD/R vs disks per node) (experiment id fig14)."""
+
+from conftest import run_and_report
+
+
+def test_fig14_lard_disks(benchmark):
+    run_and_report(benchmark, "fig14")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 2.4 (threshold sensitivity) (experiment id sec2.4-sens)."""
+
+from conftest import run_and_report
+
+
+def test_sec24_sensitivity(benchmark):
+    run_and_report(benchmark, "sec2.4-sens")

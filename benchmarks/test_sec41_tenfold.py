@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 4.1's tenfold-cache verification."""
+
+from conftest import run_and_report
+
+
+def test_sec41_tenfold(benchmark):
+    run_and_report(benchmark, "sec4.1-tenfold")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 4.2 (chess trace) (experiment id sec4.2-chess)."""
+
+from conftest import run_and_report
+
+
+def test_sec42_chess(benchmark):
+    run_and_report(benchmark, "sec4.2-chess")

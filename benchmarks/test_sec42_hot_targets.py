@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 4.2 (hot-target workloads) (experiment id sec4.2-hot)."""
+
+from conftest import run_and_report
+
+
+def test_sec42_hot_targets(benchmark):
+    run_and_report(benchmark, "sec4.2-hot")

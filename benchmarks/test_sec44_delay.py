@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 4.4 (request delay) (experiment id sec4.4-delay)."""
+
+from conftest import run_and_report
+
+
+def test_sec44_delay(benchmark):
+    run_and_report(benchmark, "sec4.4-delay")

@@ -1,0 +1,7 @@
+"""Bench: regenerate Section 6.2's front-end capacity arithmetic."""
+
+from conftest import run_and_report
+
+
+def test_sec62_capacity(benchmark):
+    run_and_report(benchmark, "sec6.2-capacity")

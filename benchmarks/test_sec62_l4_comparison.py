@@ -1,0 +1,67 @@
+"""Bench: hand-off vs Layer-4 relay front-end (paper Sections 5 and 7).
+
+The paper's motivation for inventing TCP hand-off instead of relaying:
+an L4 proxy front-end (the 1998 commercial state of the art) must carry
+every response byte through its own CPU, and — being content-oblivious —
+can never run LARD.  This bench runs the *same* workload through both
+deployments and reports the difference the hand-off architecture buys.
+"""
+
+import tempfile
+
+from repro.handoff import (
+    DocumentStore,
+    HandoffCluster,
+    L4ProxyCluster,
+    LoadGenerator,
+)
+
+REQUESTS = 800
+DOCS = 60
+DOC_BYTES = 8192
+
+
+def _measure():
+    store = DocumentStore.build(
+        tempfile.mkdtemp(prefix="lard-l4-"), {f"/d{i}": DOC_BYTES for i in range(DOCS)}
+    )
+    urls = [f"/d{i}" for i in range(DOCS)]
+    out = {}
+    with L4ProxyCluster(store, num_backends=3, miss_penalty_s=0.002) as cluster:
+        result = LoadGenerator(
+            cluster.address, urls, concurrency=8, verify=cluster.verify
+        ).run(REQUESTS)
+        cluster.wait_idle()
+        out["l4"] = (result, cluster.stats().proxy.bytes_relayed)
+    with HandoffCluster(
+        store, num_backends=3, policy="lard/r", miss_penalty_s=0.002
+    ) as cluster:
+        result = LoadGenerator(
+            cluster.address, urls, concurrency=8, verify=cluster.verify
+        ).run(REQUESTS)
+        cluster.wait_idle()
+        out["handoff"] = (result, 0)
+    return out
+
+
+def test_sec62_l4_comparison(benchmark):
+    out = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    l4_result, l4_relayed = out["l4"]
+    ho_result, _ = out["handoff"]
+    print(
+        f"\n== sec6.2-l4: hand-off vs L4 relay front-end ==\n"
+        f"{'front-end':>10s}  {'req/s':>8s}  {'mean lat ms':>11s}  "
+        f"{'fe response bytes':>18s}\n"
+        f"{'L4 relay':>10s}  {l4_result.throughput_rps:>8.0f}  "
+        f"{l4_result.mean_latency_s * 1e3:>11.2f}  {l4_relayed:>18,d}\n"
+        f"{'hand-off':>10s}  {ho_result.throughput_rps:>8.0f}  "
+        f"{ho_result.mean_latency_s * 1e3:>11.2f}  {0:>18,d}\n"
+        "paper expectation: hand-off removes the front-end from the response "
+        "path entirely,\nand enables content-based (LARD) distribution the L4 "
+        "device cannot do"
+    )
+    assert l4_result.errors == 0 and ho_result.errors == 0
+    # Every response byte crossed the L4 front-end...
+    assert l4_relayed >= REQUESTS * DOC_BYTES
+    # ...while the hand-off deployment outperforms it on the same workload.
+    assert ho_result.throughput_rps > l4_result.throughput_rps

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Run a *live* LARD cluster on loopback and benchmark it against WRR.
+
+This is the paper's Section 6 prototype, in user space: a front-end
+accepts real TCP connections, reads the HTTP request, runs the LARD/R
+dispatcher, and hands the established socket to one of several back-end
+HTTP servers, which reply directly to the client.  Every response body is
+verified byte-for-byte.
+
+The docroot is larger than one back-end's cache but smaller than their
+sum, so content-aware distribution turns misses (which pay a simulated
+disk penalty) into hits — the live analogue of Figure 18.
+
+Run:  python examples/live_cluster.py
+"""
+
+import tempfile
+
+from repro.handoff import DocumentStore, HandoffCluster, LoadGenerator
+from repro.workload import synthesize_trace
+
+NUM_BACKENDS = 4
+CACHE_BYTES = 256 * 1024  # per back-end
+MISS_PENALTY_S = 0.010  # the 1998 disk stand-in
+REQUESTS = 1500
+
+
+def main() -> None:
+    trace = synthesize_trace(
+        num_requests=REQUESTS,
+        num_targets=300,
+        total_bytes=int(NUM_BACKENDS * CACHE_BYTES * 0.8),
+        zipf_alpha=0.9,
+        size_popularity_correlation=-0.4,
+        seed=9,
+        name="live",
+    )
+    root = tempfile.mkdtemp(prefix="lard-docroot-")
+    store, urls = DocumentStore.from_trace(root, trace)
+    print(f"docroot: {len(store)} documents, {store.total_bytes / 2**20:.1f} MB at {root}")
+    print(
+        f"cluster: {NUM_BACKENDS} back-ends x {CACHE_BYTES / 1024:.0f} KB cache, "
+        f"{MISS_PENALTY_S * 1000:.0f} ms miss penalty\n"
+    )
+
+    for policy in ("wrr", "lard/r"):
+        with HandoffCluster(
+            store,
+            num_backends=NUM_BACKENDS,
+            policy=policy,
+            cache_bytes=CACHE_BYTES,
+            miss_penalty_s=MISS_PENALTY_S,
+        ) as cluster:
+            generator = LoadGenerator(
+                cluster.address, urls, concurrency=12, verify=cluster.verify
+            )
+            result = generator.run(REQUESTS)
+            cluster.wait_idle()
+            stats = cluster.stats()
+            print(
+                f"{policy:7s} {result.throughput_rps:8.0f} req/s  "
+                f"mean latency {result.mean_latency_s * 1000:6.2f} ms  "
+                f"miss {stats.cache_miss_ratio:6.1%}  "
+                f"errors {result.errors}  "
+                f"handoff latency {stats.frontend.mean_handoff_latency_s * 1e6:5.0f} us"
+            )
+            per_backend = ", ".join(str(c) for c in stats.per_backend_requests)
+            print(f"        requests per back-end: [{per_backend}]")
+    print(
+        "\nLARD/R turns the shared docroot into a partitioned cluster cache: "
+        "fewer misses,\nfewer disk penalties, higher throughput - live, over "
+        "real sockets."
+    )
+
+
+if __name__ == "__main__":
+    main()

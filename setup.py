@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (pip falls back to setup.py develop for editable installs)."""
+
+from setuptools import setup
+
+setup()

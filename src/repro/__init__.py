@@ -1,0 +1,72 @@
+"""repro — a full reproduction of "Locality-Aware Request Distribution in
+Cluster-based Network Servers" (Pai et al., ASPLOS 1998).
+
+Layout
+------
+* :mod:`repro.core` — the LARD / LARD-R strategies and every baseline
+  (WRR, LB, LB/GC) behind one :class:`~repro.core.Policy` interface.
+* :mod:`repro.cluster` — the paper's trace-driven cluster simulator.
+* :mod:`repro.cache` — GDS/LRU/LFU node caches, the GMS cooperative
+  cache, and the LB/GC front-end directory.
+* :mod:`repro.workload` — tokenized traces, synthetic stand-ins for the
+  Rice/IBM/chess traces, and log parsing.
+* :mod:`repro.sim` — the discrete-event engine underneath it all.
+* :mod:`repro.handoff` — a live, user-space TCP connection hand-off
+  prototype (front-end + back-end HTTP servers + load generator).
+* :mod:`repro.analysis` — one experiment per paper figure/table.
+
+Quickstart
+----------
+>>> from repro.workload import rice_like_trace
+>>> from repro.cluster import run_simulation
+>>> trace = rice_like_trace(num_requests=20_000)
+>>> wrr = run_simulation(trace, policy="wrr", num_nodes=8)
+>>> lard = run_simulation(trace, policy="lard/r", num_nodes=8)
+>>> lard.throughput_rps > wrr.throughput_rps
+True
+"""
+
+from . import cache, cluster, core, sim, workload
+from .cluster import ClusterConfig, CostModel, SimulationResult, run_simulation
+from .core import (
+    LARD,
+    HashLocality,
+    LARDReplication,
+    LocalityGlobalCache,
+    POLICY_NAMES,
+    Policy,
+    WeightedRoundRobin,
+    make_policy,
+)
+from .workload import (
+    Trace,
+    chess_like_trace,
+    ibm_like_trace,
+    inject_hot_targets,
+    rice_like_trace,
+    synthesize_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Policy",
+    "WeightedRoundRobin",
+    "HashLocality",
+    "LocalityGlobalCache",
+    "LARD",
+    "LARDReplication",
+    "POLICY_NAMES",
+    "make_policy",
+    "ClusterConfig",
+    "CostModel",
+    "SimulationResult",
+    "run_simulation",
+    "Trace",
+    "synthesize_trace",
+    "rice_like_trace",
+    "ibm_like_trace",
+    "chess_like_trace",
+    "inject_hot_targets",
+]

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+>>> from repro.analysis import run_experiment, QUICK
+>>> print(run_experiment("fig7", QUICK).render())  # doctest: +SKIP
+"""
+
+from .experiments import (
+    EXPERIMENTS,
+    FULL,
+    QUICK,
+    SMOKE,
+    STANDARD,
+    Scale,
+    clear_caches,
+    get_trace,
+    run_cell,
+    run_experiment,
+)
+from .chart import ascii_chart, experiment_chart
+from .report import ExperimentResult, format_table
+from .sweep import result_row, sweep, write_csv
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "Scale",
+    "FULL",
+    "STANDARD",
+    "QUICK",
+    "SMOKE",
+    "clear_caches",
+    "get_trace",
+    "run_cell",
+    "ExperimentResult",
+    "format_table",
+    "ascii_chart",
+    "experiment_chart",
+    "sweep",
+    "result_row",
+    "write_csv",
+]

@@ -1,0 +1,111 @@
+"""Terminal line charts for experiment series.
+
+The paper's evaluation is figures, not tables; ``lard-repro run fig7
+--chart`` renders the same series as an ASCII plot so the shape — the
+superlinear region, the WRR flatline, the crossovers — is visible at a
+glance in a terminal.  Pure string manipulation, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart", "experiment_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, span: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(span - 1, max(0, int(round(position * (span - 1)))))
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series over shared x values as an ASCII line chart.
+
+    Each series gets a marker from ``oxX*#@%&`` (legend appended); points
+    are placed on a ``width``×``height`` grid with linearly scaled axes
+    and min/max tick labels.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    if len(x_values) == 0:
+        raise ValueError("need at least one x value")
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1, y_hi + 1
+    y_lo = min(y_lo, 0.0)  # throughput/miss charts read best anchored at 0
+    x_lo, x_hi = min(x_values), max(x_values)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        last_cell: Optional[tuple] = None
+        for x, y in zip(x_values, ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            if grid[row][col] == " " or last_cell == (row, col):
+                grid[row][col] = marker
+            else:
+                grid[row][col] = "*" if grid[row][col] != marker else marker
+            last_cell = (row, col)
+    left_pad = max(len(f"{y_hi:g}"), len(f"{y_lo:g}"))
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:g}".rjust(left_pad)
+        elif row_index == height - 1:
+            label = f"{y_lo:g}".rjust(left_pad)
+        else:
+            label = " " * left_pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * left_pad + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * left_pad + "  " + x_axis)
+    if x_label or y_label:
+        lines.append(" " * left_pad + f"  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * left_pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def experiment_chart(result, width: int = 64, height: int = 18) -> Optional[str]:
+    """Chart an :class:`~repro.analysis.report.ExperimentResult` if its
+    table is a numeric sweep (first column = x, rest = series).
+
+    Returns None for results that are not chartable (e.g. categorical
+    tables), so callers can fall back to the table.
+    """
+    if len(result.headers) < 2 or len(result.rows) < 2:
+        return None
+    try:
+        x_values = [float(row[0]) for row in result.rows]
+        series = {
+            header: [float(row[i + 1]) for row in result.rows]
+            for i, header in enumerate(result.headers[1:])
+        }
+    except (TypeError, ValueError):
+        return None
+    return ascii_chart(
+        x_values,
+        series,
+        width=width,
+        height=height,
+        x_label=result.headers[0],
+    )

@@ -1,0 +1,32 @@
+"""Cache substrate: replacement policies and cluster-wide cache models.
+
+* :class:`LRUCache` / :class:`GDSCache` / :class:`LFUCache` — per-node
+  whole-file caches (GDS is the paper's default, Section 3.1).
+* :class:`GlobalMemorySystem` — cooperative cluster cache for the WRR/GMS
+  comparator.
+* :class:`GlobalCacheDirectory` — the front-end cache mirror behind the
+  idealized LB/GC comparator.
+"""
+
+from .base import Cache, CacheError, CacheStats
+from .directory import GlobalCacheDirectory, RouteDecision
+from .gds import GDSCache
+from .gms import GlobalMemorySystem, GMSOutcome, GMSResult, GMSStats
+from .lfu import LFUCache
+from .lru import LRUCache, PAPER_LRU_MAX_FILE_BYTES
+
+__all__ = [
+    "Cache",
+    "CacheError",
+    "CacheStats",
+    "LRUCache",
+    "PAPER_LRU_MAX_FILE_BYTES",
+    "GDSCache",
+    "LFUCache",
+    "GlobalMemorySystem",
+    "GMSOutcome",
+    "GMSResult",
+    "GMSStats",
+    "GlobalCacheDirectory",
+    "RouteDecision",
+]

@@ -1,0 +1,68 @@
+"""Least-frequently-used replacement (LRU tie-break).
+
+Not evaluated in the paper itself; included as an additional comparator for
+the replacement-policy ablation bench (DESIGN.md Section 5) because LFU is
+the other classic point in the web-caching design space: it keeps hot
+documents regardless of recency, so it behaves well on Zipf-like traffic
+but adapts slowly when the working set shifts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from .base import Cache, CacheError
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(Cache):
+    """LFU with least-recent tie-break, via a lazy-deletion heap.
+
+    Heap entries are ``(frequency, seq, target)``; ``seq`` is a global
+    access counter, so equal-frequency entries evict in least-recently-
+    touched order.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "") -> None:
+        super().__init__(capacity_bytes, name=name)
+        self._freq: Dict[Hashable, int] = {}
+        self._stamp: Dict[Hashable, int] = {}
+        self._heap: List[Tuple[int, int, Hashable]] = []
+        self._seq = 0
+
+    def frequency_of(self, target: Hashable) -> int:
+        """Access count of a cached target (0 if absent)."""
+        return self._freq.get(target, 0)
+
+    def _touch(self, target: Hashable) -> None:
+        self._seq += 1
+        self._freq[target] = self._freq.get(target, 0) + 1
+        self._stamp[target] = self._seq
+        heapq.heappush(self._heap, (self._freq[target], self._seq, target))
+
+    def _on_hit(self, target: Hashable) -> None:
+        self._touch(target)
+
+    def _on_insert(self, target: Hashable, size: int) -> None:
+        self._touch(target)
+
+    def _select_victim(self) -> Hashable:
+        while self._heap:
+            freq, stamp, target = self._heap[0]
+            if self._freq.get(target) == freq and self._stamp.get(target) == stamp:
+                return target
+            heapq.heappop(self._heap)  # stale
+        raise CacheError("LFU victim requested from an empty cache")  # pragma: no cover
+
+    def _on_remove(self, target: Hashable) -> None:
+        del self._freq[target]
+        del self._stamp[target]
+        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._freq):
+            self._heap = [
+                (f, s, t)
+                for (f, s, t) in self._heap
+                if self._freq.get(t) == f and self._stamp.get(t) == s
+            ]
+            heapq.heapify(self._heap)

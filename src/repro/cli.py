@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Usage::
+
+    lard-repro list
+    lard-repro run fig7 [--scale quick|standard|full|smoke]
+    lard-repro run all --scale quick
+    lard-repro trace rice [--requests N] [--scale-factor F]
+    lard-repro simulate --policy lard/r --nodes 8 [--trace rice] [...]
+
+(`python -m repro` is equivalent.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import EXPERIMENTS, FULL, QUICK, SMOKE, STANDARD, Scale, run_experiment
+from .cluster import PAPER_NODE_CACHE_BYTES, run_simulation
+from .core import POLICY_NAMES
+from .workload import (
+    chess_like_trace,
+    ibm_like_trace,
+    locality_profile,
+    rice_like_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "standard": STANDARD, "full": FULL}
+_TRACES = {"rice": rice_like_trace, "ibm": ibm_like_trace, "chess": chess_like_trace}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lard-repro",
+        description="Reproduce LARD (Pai et al., ASPLOS 1998) figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="standard",
+        help="experiment size (default: standard)",
+    )
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render numeric sweeps as ASCII charts",
+    )
+
+    trace = sub.add_parser("trace", help="describe a synthetic trace")
+    trace.add_argument("kind", choices=sorted(_TRACES))
+    trace.add_argument("--requests", type=int, default=200_000)
+    trace.add_argument(
+        "--scale-factor",
+        type=float,
+        default=0.25,
+        help="catalog/data-set scale (rice/ibm only)",
+    )
+
+    sim = sub.add_parser("simulate", help="one cluster simulation run")
+    sim.add_argument("--policy", choices=POLICY_NAMES, default="lard/r")
+    sim.add_argument("--nodes", type=int, default=8)
+    sim.add_argument("--trace", choices=sorted(_TRACES), default="rice")
+    sim.add_argument("--requests", type=int, default=200_000)
+    sim.add_argument("--scale-factor", type=float, default=0.25)
+    sim.add_argument("--disks", type=int, default=1)
+    sim.add_argument("--cache", choices=("gds", "lru", "lru-unbounded", "lfu"), default="gds")
+    sim.add_argument("--cpu-speed", type=float, default=1.0)
+    return parser
+
+
+def _make_trace(kind: str, requests: int, scale_factor: float):
+    if kind == "chess":
+        return chess_like_trace(num_requests=requests)
+    return _TRACES[kind](num_requests=requests, scale=scale_factor)
+
+
+def _cmd_list() -> int:
+    from .analysis.experiments import EXPERIMENT_TITLES
+
+    for experiment_id in EXPERIMENTS:
+        print(f"{experiment_id:16s} {EXPERIMENT_TITLES.get(experiment_id, '')}")
+    return 0
+
+
+def _cmd_run(experiment: str, scale_name: str, chart: bool = False) -> int:
+    from .analysis import experiment_chart
+
+    scale = _SCALES[scale_name]
+    ids = list(EXPERIMENTS) if experiment == "all" else [experiment]
+    failed = False
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, scale)
+        print(result.render())
+        if chart:
+            rendered = experiment_chart(result)
+            if rendered:
+                print(rendered)
+        print()
+        failed = failed or any(c.startswith("FAIL") for c in result.checks)
+    return 1 if failed else 0
+
+
+def _cmd_trace(kind: str, requests: int, scale_factor: float) -> int:
+    trace = _make_trace(kind, requests, scale_factor)
+    print(trace.describe())
+    print(f"distinct targets requested: {trace.num_distinct_requested}")
+    print(f"mean file size: {trace.mean_file_bytes / 1024:.1f} KB")
+    print(f"mean transfer size: {trace.mean_transfer_bytes / 1024:.1f} KB")
+    profile = locality_profile(trace)
+    for fraction, mb in profile.items():
+        print(f"memory to cover {fraction:.0%} of requests: {mb:.0f} MB")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .cluster import CostModel
+
+    trace = _make_trace(args.trace, args.requests, args.scale_factor)
+    result = run_simulation(
+        trace,
+        policy=args.policy,
+        num_nodes=args.nodes,
+        node_cache_bytes=int(PAPER_NODE_CACHE_BYTES * args.scale_factor),
+        disks_per_node=args.disks,
+        cache_policy=args.cache,
+        costs=CostModel(cpu_speed=args.cpu_speed),
+    )
+    print(result.summary())
+    print(
+        f"disk reads: {result.disk_reads} (+{result.coalesced_reads} coalesced); "
+        f"cpu busy {result.cpu_busy_fraction:.0%}, disk busy {result.disk_busy_fraction:.0%}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.scale, chart=args.chart)
+        if args.command == "trace":
+            return _cmd_trace(args.kind, args.requests, args.scale_factor)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early - not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Trace-driven web-cluster simulator (paper Sections 3–4).
+
+Build a :class:`ClusterConfig`, pick a trace from :mod:`repro.workload`,
+and call :func:`run_simulation`:
+
+>>> from repro.workload import rice_like_trace
+>>> from repro.cluster import run_simulation
+>>> result = run_simulation(rice_like_trace(num_requests=20_000),
+...                         policy="lard/r", num_nodes=8)
+>>> result.throughput_rps > 0
+True
+"""
+
+from .costs import PAPER_NODE_CACHE_BYTES, CostModel
+from .frontend import PERSISTENT_POLICIES, FrontEnd
+from .frontend_capacity import FrontEndCapacityModel
+from .metrics import UNDERUTILIZATION_FRACTION, LoadTracker, SimulationResult
+from .node import BackendNode
+from .simulator import (
+    CACHE_POLICIES,
+    ClusterConfig,
+    ClusterSimulator,
+    make_cache,
+    run_simulation,
+    stripe_by_frequency,
+)
+
+__all__ = [
+    "CostModel",
+    "PAPER_NODE_CACHE_BYTES",
+    "BackendNode",
+    "FrontEnd",
+    "PERSISTENT_POLICIES",
+    "FrontEndCapacityModel",
+    "LoadTracker",
+    "SimulationResult",
+    "UNDERUTILIZATION_FRACTION",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "run_simulation",
+    "make_cache",
+    "stripe_by_frequency",
+    "CACHE_POLICIES",
+]

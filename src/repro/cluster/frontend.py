@@ -1,0 +1,237 @@
+"""Front-end model: admission control plus policy-driven dispatch.
+
+The simulated front-end follows the paper's assumptions (Sections 2.1 and
+3.1): it has **no processing overhead**, it hands each admitted connection
+to the back-end chosen by the distribution policy, and it "limits the sum
+total of connections handed to all back-end nodes" to the admission limit
+S.  The request arrival rate "was matched to the aggregate throughput of
+the server" — i.e. the system runs closed-loop: a new connection is
+admitted the moment a slot frees up, so back-ends are never starved by the
+arrival process itself.
+
+Beyond the paper's HTTP/1.0 evaluation, this front-end also implements the
+**persistent-connection** protocol support described (but not evaluated)
+in Section 5: with ``requests_per_connection > 1`` each admitted
+connection carries several consecutive trace requests, and
+``persistent_policy`` selects between the two options the hand-off
+protocol provides — ``"sticky"`` (one back-end serves all of a
+connection's requests) and ``"rehandoff"`` (the front-end re-runs the
+policy per request and moves the connection when the policy says so).
+
+It also owns cluster-membership dynamics (paper Section 2.6): failures
+drop a node's mappings, load accounting and (on rejoin) cache, while
+connections already in flight drain without corrupting the books.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.base import Policy
+from ..sim import Engine
+from ..workload.trace import Trace
+from .metrics import LoadTracker
+from .node import BackendNode
+
+__all__ = ["FrontEnd", "PERSISTENT_POLICIES"]
+
+PERSISTENT_POLICIES = ("sticky", "rehandoff")
+
+
+class FrontEnd:
+    """Closed-loop connection admission and dispatch over a trace."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: Policy,
+        nodes: Sequence[BackendNode],
+        trace: Trace,
+        tracker: LoadTracker,
+        max_in_flight: Optional[int] = None,
+        requests_per_connection: int = 1,
+        persistent_policy: str = "sticky",
+    ) -> None:
+        if len(nodes) != policy.num_nodes:
+            raise ValueError(
+                f"policy expects {policy.num_nodes} nodes, cluster has {len(nodes)}"
+            )
+        if requests_per_connection < 1:
+            raise ValueError(
+                f"requests_per_connection must be >= 1, got {requests_per_connection}"
+            )
+        if persistent_policy not in PERSISTENT_POLICIES:
+            raise ValueError(
+                f"persistent_policy must be one of {PERSISTENT_POLICIES}, "
+                f"got {persistent_policy!r}"
+            )
+        self.engine = engine
+        self.policy = policy
+        self.nodes = nodes
+        self.trace = trace
+        self.tracker = tracker
+        self._auto_limit = max_in_flight is None
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else policy.admission_limit
+        )
+        if self.max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {self.max_in_flight}")
+        self.requests_per_connection = requests_per_connection
+        self.persistent_policy = persistent_policy
+        self._targets = trace.targets
+        self._sizes = trace.sizes_by_target
+        self._next = 0
+        self.in_flight = 0
+        self.completed = 0
+        self.connections = 0
+        self.rehandoffs = 0
+        self.total_delay_s = 0.0
+        self.per_node_dispatches = [0] * len(nodes)
+        self.per_node_delay_s = [0.0] * len(nodes)
+        self.per_node_completions = [0] * len(nodes)
+        # Membership epochs: bumped when a node fails so that connections
+        # dispatched before the failure do not corrupt load accounting
+        # when they drain (paper Section 2.6 failure handling).
+        self._epoch = [0] * len(nodes)
+        self.orphaned = 0
+        #: When set (seconds), completions are counted into time buckets —
+        #: used by the failure-recovery experiment to plot throughput dips.
+        self.timeline_interval_s: Optional[float] = None
+        self.timeline: dict = {}
+        #: When True, every request's delay is recorded (percentiles).
+        self.collect_delays: bool = False
+        self.delays_s: List[float] = []
+
+    # -- driving ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Admit the initial batch; completions keep the pipeline full."""
+        self._admit()
+
+    @property
+    def done(self) -> bool:
+        return self.completed == len(self.trace)
+
+    # -- cluster membership (paper Section 2.6) ---------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """A back-end died: drop its mappings and load, orphan its
+        in-flight connections, and stop routing to it."""
+        self.policy.on_node_failure(node)
+        self.tracker.reset_node(node, self.engine.now)
+        self._epoch[node] += 1
+        backend = self.nodes[node]
+        if backend.gms is not None:
+            backend.gms.drop_node(node)
+        if self._auto_limit:
+            self.max_in_flight = self.policy.admission_limit
+
+    def join_node(self, node: int) -> None:
+        """A back-end (re)joined with a cold cache."""
+        self.policy.on_node_join(node)
+        backend = self.nodes[node]
+        if backend.cache is not None:
+            backend.cache.clear()
+        if self._auto_limit:
+            self.max_in_flight = self.policy.admission_limit
+        self._admit()
+
+    # -- admission ---------------------------------------------------------------
+
+    def _take_batch(self) -> List[Tuple[int, int]]:
+        """Next connection's requests: up to requests_per_connection."""
+        n = len(self._targets)
+        batch: List[Tuple[int, int]] = []
+        while self._next < n and len(batch) < self.requests_per_connection:
+            target = int(self._targets[self._next])
+            batch.append((target, int(self._sizes[target])))
+            self._next += 1
+        return batch
+
+    def _admit(self) -> None:
+        n = len(self._targets)
+        while self.in_flight < self.max_in_flight and self._next < n:
+            batch = self._take_batch()
+            target, size = batch[0]
+            now = self.engine.now
+            node_id = self.policy.choose(target, size, now=now)
+            # LB/GC's idealized front-end cache model dictates hit/miss.
+            take = getattr(self.policy, "take_prediction", None)
+            hit_hint = take() if take is not None else None
+            self._attach(node_id)
+            self.connections += 1
+            self.in_flight += 1
+            self.engine.process(self._connection(batch, node_id, hit_hint))
+
+    # -- per-connection accounting --------------------------------------------------
+
+    def _attach(self, node_id: int) -> None:
+        now = self.engine.now
+        self.policy.on_dispatch(node_id)
+        self.tracker.on_dispatch(node_id, now)
+        self.per_node_dispatches[node_id] += 1
+
+    def _detach(self, node_id: int, epoch: int) -> bool:
+        """Release a connection's load at ``node_id``; False if orphaned."""
+        if self._epoch[node_id] != epoch:
+            self.orphaned += 1
+            return False
+        self.policy.on_complete(node_id)
+        self.tracker.on_complete(node_id, self.engine.now)
+        return True
+
+    def _account_request(self, node_id: int, epoch: int, start: float) -> None:
+        now = self.engine.now
+        self.total_delay_s += now - start
+        if self.collect_delays:
+            self.delays_s.append(now - start)
+        if self._epoch[node_id] == epoch:
+            self.per_node_delay_s[node_id] += now - start
+            self.per_node_completions[node_id] += 1
+        if self.timeline_interval_s is not None:
+            bucket = int(now // self.timeline_interval_s)
+            self.timeline[bucket] = self.timeline.get(bucket, 0) + 1
+        self.completed += 1
+
+    # -- the connection process ----------------------------------------------------
+
+    def _connection(self, batch: List[Tuple[int, int]], node_id: int, hit_hint):
+        epoch = self._epoch[node_id]
+        last_index = len(batch) - 1
+        for index, (target, size) in enumerate(batch):
+            if index > 0:
+                hit_hint = None
+                if self.persistent_policy == "rehandoff":
+                    node_id, epoch, hit_hint = self._maybe_rehandoff(
+                        node_id, epoch, target, size
+                    )
+            start = self.engine.now
+            yield from self.nodes[node_id].serve(
+                target,
+                size,
+                hit_hint=hit_hint,
+                establish=(index == 0),
+                teardown=(index == last_index),
+            )
+            self._account_request(node_id, epoch, start)
+        self._detach(node_id, epoch)
+        self.in_flight -= 1
+        self._admit()
+
+    def _maybe_rehandoff(self, node_id: int, epoch: int, target: int, size: int):
+        """Re-run the policy for the next request on a persistent connection."""
+        now = self.engine.now
+        new_node = self.policy.choose(target, size, now=now)
+        take = getattr(self.policy, "take_prediction", None)
+        hit_hint = take() if take is not None else None
+        if new_node == node_id and self._epoch[node_id] == epoch:
+            return node_id, epoch, hit_hint
+        # Move the connection: release the old node's slot, take the new.
+        if self._epoch[node_id] == epoch:
+            self.policy.on_complete(node_id)
+            self.tracker.on_complete(node_id, now)
+        else:
+            self.orphaned += 1
+        self._attach(new_node)
+        self.rehandoffs += 1
+        return new_node, self._epoch[new_node], hit_hint

@@ -1,0 +1,90 @@
+"""Front-end capacity model (paper Section 6.2).
+
+The paper measures two front-end costs on its kernel implementation —
+connection hand-off and client-ACK forwarding — and concludes:
+
+    "with the Rice University trace as the workload, the handoff
+    throughput and forwarding throughput are sufficient to support 10
+    back-end nodes of the same CPU speed as the front-end",
+
+with an expectation of near-linear SMP scaling because hand-off and
+forwarding are per-connection independent.
+
+:class:`FrontEndCapacityModel` is that back-of-envelope made executable:
+per admitted connection the front-end pays one hand-off plus one forward
+per client ACK (one delayed ACK per two MSS-sized response segments), so
+given a workload's mean transfer size and a back-end's connection rate the
+model yields how many back-ends one front-end CPU sustains.  Feed it
+numbers from a simulation (mean transfer bytes, per-node throughput) or
+from the live prototype's measured hand-off latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FrontEndCapacityModel"]
+
+
+@dataclass(frozen=True)
+class FrontEndCapacityModel:
+    """Per-connection front-end CPU costs and the capacity they imply.
+
+    Defaults approximate the paper's measurements (hand-off ~194 µs,
+    ACK forwarding a handful of µs, Ethernet MSS, delayed ACKs every
+    second segment).
+    """
+
+    handoff_cpu_s: float = 194e-6
+    ack_forward_cpu_s: float = 9e-6
+    mss_bytes: int = 1460
+    segments_per_ack: int = 2
+    #: Front-end CPU speed relative to the back-ends (SMP: total cores).
+    cpu_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.handoff_cpu_s < 0 or self.ack_forward_cpu_s < 0:
+            raise ValueError("costs must be non-negative")
+        if self.mss_bytes <= 0 or self.segments_per_ack <= 0:
+            raise ValueError("mss_bytes and segments_per_ack must be positive")
+        if self.cpu_multiplier <= 0:
+            raise ValueError("cpu_multiplier must be positive")
+
+    # -- per-connection costs -----------------------------------------------------
+
+    def acks_per_connection(self, response_bytes: float) -> float:
+        """Client ACKs the front-end must forward for one response."""
+        if response_bytes < 0:
+            raise ValueError(f"negative response size: {response_bytes}")
+        segments = max(1.0, response_bytes / self.mss_bytes)
+        return segments / self.segments_per_ack
+
+    def cpu_per_connection_s(self, response_bytes: float) -> float:
+        """Front-end CPU time consumed by one handed-off connection."""
+        forwards = self.acks_per_connection(response_bytes)
+        return (self.handoff_cpu_s + forwards * self.ack_forward_cpu_s) / self.cpu_multiplier
+
+    # -- capacity ---------------------------------------------------------------------
+
+    def max_connection_rate(self, response_bytes: float) -> float:
+        """Hand-offs/second one front-end sustains at this transfer size."""
+        return 1.0 / self.cpu_per_connection_s(response_bytes)
+
+    def max_backends(self, backend_rate_rps: float, response_bytes: float) -> float:
+        """Back-ends of the given per-node request rate one front-end feeds."""
+        if backend_rate_rps <= 0:
+            raise ValueError(f"backend rate must be positive, got {backend_rate_rps}")
+        return self.max_connection_rate(response_bytes) / backend_rate_rps
+
+    def forwarding_throughput_bps(self) -> float:
+        """Theoretical response bandwidth supported by ACK forwarding alone.
+
+        Each forwarded ACK covers ``segments_per_ack * mss_bytes`` of
+        response data (the paper quotes multi-Gbit/s for its 9 µs cost).
+        """
+        bytes_per_ack = self.segments_per_ack * self.mss_bytes
+        return bytes_per_ack / self.ack_forward_cpu_s * 8 * self.cpu_multiplier
+
+    def with_smp(self, cpus: float) -> "FrontEndCapacityModel":
+        """The paper's SMP scaling projection (hand-offs parallelize)."""
+        return replace(self, cpu_multiplier=cpus)

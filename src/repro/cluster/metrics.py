@@ -1,0 +1,164 @@
+"""Simulation output metrics (paper Section 3.3).
+
+* **Throughput** — "the number of requests in the trace divided by the
+  simulated time it took to finish serving all the requests".
+* **Cache hit/miss ratio** — "the number of requests that hit in a back
+  end node's main memory cache divided by the number of requests".
+* **Idle time** — "the fraction of simulated time during which a back end
+  node was underutilized, averaged over all back end nodes", where
+  *underutilized* means load below **40 % of T_low**.
+* **Delay** — mean per-request latency, dispatch to completion
+  (Section 4.4 compares LARD/R's delay against WRR's).
+
+:class:`LoadTracker` integrates each node's active-connection level over
+time so the idle figure needs no sampling; :class:`SimulationResult` is
+the bundle every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LoadTracker", "SimulationResult", "UNDERUTILIZATION_FRACTION"]
+
+#: "Node underutilization is defined as the time that a node's load is
+#: less than 40% of T_low."
+UNDERUTILIZATION_FRACTION = 0.40
+
+
+class LoadTracker:
+    """Time-integrates per-node load to report underutilization fractions."""
+
+    def __init__(self, num_nodes: int, threshold: float) -> None:
+        self.num_nodes = num_nodes
+        self.threshold = threshold
+        self._load = [0] * num_nodes
+        self._under_since = [0.0] * num_nodes  # every node starts idle at t=0
+        self._under_time = [0.0] * num_nodes
+        self._is_under = [True] * num_nodes
+
+    def _update(self, node: int, now: float, delta: int) -> None:
+        load = self._load[node] + delta
+        if load < 0:
+            raise ValueError(f"node {node} load went negative")
+        self._load[node] = load
+        under = load < self.threshold
+        if under and not self._is_under[node]:
+            self._under_since[node] = now
+            self._is_under[node] = True
+        elif not under and self._is_under[node]:
+            self._under_time[node] += now - self._under_since[node]
+            self._is_under[node] = False
+
+    def on_dispatch(self, node: int, now: float) -> None:
+        """A connection was handed to ``node`` at time ``now``."""
+        self._update(node, now, +1)
+
+    def on_complete(self, node: int, now: float) -> None:
+        """A connection finished at ``node`` at time ``now``."""
+        self._update(node, now, -1)
+
+    def reset_node(self, node: int, now: float) -> None:
+        """Zero a node's load (failure): its connections no longer count."""
+        self._update(node, now, -self._load[node])
+
+    def load(self, node: int) -> int:
+        """Current active-connection count of ``node``."""
+        return self._load[node]
+
+    def underutilized_fraction(self, node: int, end_time: float) -> float:
+        """Fraction of [0, end_time] the node spent below the threshold."""
+        if end_time <= 0:
+            return 0.0
+        under = self._under_time[node]
+        if self._is_under[node]:
+            under += end_time - self._under_since[node]
+        return under / end_time
+
+    def mean_underutilized_fraction(self, end_time: float) -> float:
+        """Underutilized-time fraction averaged over all nodes (the paper's idle metric)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return sum(
+            self.underutilized_fraction(node, end_time) for node in range(self.num_nodes)
+        ) / self.num_nodes
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulator run reports."""
+
+    policy: str
+    num_nodes: int
+    num_requests: int
+    sim_time_s: float
+    cache_hits: int
+    cache_misses: int
+    disk_reads: int
+    coalesced_reads: int
+    total_delay_s: float
+    idle_fraction: float
+    cpu_busy_fraction: float
+    disk_busy_fraction: float
+    bytes_served: int
+    gms_local_hits: int = 0
+    gms_remote_hits: int = 0
+    per_node_mean_delay_s: List[float] = field(default_factory=list)
+    #: Completions per time bucket (only when timeline_interval_s was set).
+    timeline: Dict[int, int] = field(default_factory=dict)
+    orphaned_connections: int = 0
+    #: Connections admitted (== num_requests unless persistent connections).
+    connections: int = 0
+    #: Persistent-connection moves between back-ends ("rehandoff" mode).
+    rehandoffs: int = 0
+    #: Per-request delays (only when collect_delays was set).
+    delays_s: List[float] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests served per simulated second (the headline metric)."""
+        return self.num_requests / self.sim_time_s if self.sim_time_s > 0 else 0.0
+
+    @property
+    def cache_miss_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return 1.0 - self.cache_miss_ratio if (self.cache_hits + self.cache_misses) else 0.0
+
+    @property
+    def mean_delay_s(self) -> float:
+        return self.total_delay_s / self.num_requests if self.num_requests else 0.0
+
+    def delay_percentile_s(self, pct: float) -> float:
+        """Request-delay percentile (requires ``collect_delays=True``)."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self.delays_s:
+            raise ValueError("run with collect_delays=True to get percentiles")
+        ordered = sorted(self.delays_s)
+        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def delay_spread_s(self) -> float:
+        """Max minus min per-node mean delay (the Section 2.4 sensitivity
+        metric: it grows roughly linearly with T_high - T_low)."""
+        delays = [d for d in self.per_node_mean_delay_s if d > 0]
+        if len(delays) < 2:
+            return 0.0
+        return max(delays) - min(delays)
+
+    def summary(self) -> str:
+        """One report row, in the spirit of the paper's figures."""
+        return (
+            f"{self.policy:8s} n={self.num_nodes:2d}  "
+            f"tput={self.throughput_rps:8.1f} req/s  "
+            f"miss={self.cache_miss_ratio * 100:5.2f}%  "
+            f"idle={self.idle_fraction * 100:5.2f}%  "
+            f"delay={self.mean_delay_s * 1000:7.2f} ms"
+        )

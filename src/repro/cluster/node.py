@@ -1,0 +1,218 @@
+"""Back-end node model (paper Figure 4, Section 3.1).
+
+Each back-end consists of one CPU and one or more locally attached disks,
+each with its own FCFS queue, plus a whole-file main-memory cache.
+Serving a request takes these steps in sequence (overlapped across
+requests):
+
+1. connection establishment (CPU);
+2. disk reads if the file misses the cache — chunked at 44 KB, with "the
+   data transmission immediately follow[ing] the disk read for each
+   block" (disk and CPU interleave per chunk);
+3. target data transmission (CPU);
+4. connection teardown (CPU).
+
+"Multiple requests waiting on the same file from disk can be satisfied
+with only one disk read" — implemented by the per-target pending-read
+table: concurrent misses on an in-flight file wait on a
+:class:`~repro.sim.resources.SimEvent` instead of issuing another read.
+
+In WRR/GMS mode the node consults the cluster-wide
+:class:`~repro.cache.gms.GlobalMemorySystem` instead of a private cache;
+remote hits charge fetch CPU time at *both* the holder and the requester.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from ..cache.base import Cache
+from ..cache.gms import GlobalMemorySystem, GMSOutcome
+from ..sim import Engine, Resource, Service, SimEvent, Wait
+from .costs import CostModel
+
+__all__ = ["BackendNode"]
+
+
+class BackendNode:
+    """One simulated back-end: CPU + disks + cache, serving whole requests."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        costs: CostModel,
+        cache: Optional[Cache],
+        num_disks: int = 1,
+        gms: Optional[GlobalMemorySystem] = None,
+        coalesce_reads: bool = True,
+    ) -> None:
+        if (cache is None) == (gms is None):
+            raise ValueError("exactly one of cache/gms must be provided")
+        if num_disks < 1:
+            raise ValueError(f"need at least one disk, got {num_disks}")
+        self.engine = engine
+        self.node_id = node_id
+        self.costs = costs
+        self.cache = cache
+        self.gms = gms
+        self.coalesce_reads = coalesce_reads
+        self.cpu = Resource(engine, capacity=1, name=f"cpu[{node_id}]")
+        self.disks = [
+            Resource(engine, capacity=1, name=f"disk[{node_id}.{d}]")
+            for d in range(num_disks)
+        ]
+        #: Set by the cluster: peer nodes, used for GMS remote fetches.
+        self.peers: Sequence["BackendNode"] = ()
+        #: Set by the cluster: target -> disk index (frequency striping).
+        self.disk_of_target: Optional[Sequence[int]] = None
+        self._pending: Dict[Hashable, SimEvent] = {}
+        # Counters (paper metrics).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.disk_reads = 0
+        self.coalesced_reads = 0
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.gms_local_hits = 0
+        self.gms_remote_hits = 0
+
+    # -- disk placement ----------------------------------------------------------
+
+    def disk_for(self, target: Hashable) -> Resource:
+        """Disk holding ``target`` (frequency-striped when configured)."""
+        if len(self.disks) == 1:
+            return self.disks[0]
+        if self.disk_of_target is not None and isinstance(target, int):
+            return self.disks[self.disk_of_target[target] % len(self.disks)]
+        return self.disks[hash(target) % len(self.disks)]
+
+    # -- request lifecycle ----------------------------------------------------------
+
+    def serve(
+        self,
+        target: Hashable,
+        size: int,
+        hit_hint: Optional[bool] = None,
+        establish: bool = True,
+        teardown: bool = True,
+    ):
+        """Generator process serving one request end to end.
+
+        ``hit_hint`` is set only for LB/GC: the front-end's idealized cache
+        model dictates whether this request hits, so the node obeys the
+        prediction instead of consulting a private cache.
+
+        ``establish``/``teardown`` amortize connection costs over
+        persistent connections: only a connection's first request pays
+        establishment and only its last pays teardown (paper Section 5's
+        HTTP/1.1 discussion).
+        """
+        if establish:
+            yield Service(self.cpu, self.costs.connection_time())
+        if hit_hint is not None:
+            yield from self._fetch_hinted(target, size, hit_hint)
+        elif self.gms is not None:
+            yield from self._fetch_gms(target, size)
+        else:
+            yield from self._fetch_local(target, size)
+        if teardown:
+            yield Service(self.cpu, self.costs.teardown_time())
+        self.requests_served += 1
+        self.bytes_served += size
+
+    def _fetch_hinted(self, target: Hashable, size: int, hit: bool):
+        if hit:
+            self.cache_hits += 1
+            yield Service(self.cpu, self.costs.transmit_time(size))
+            return
+        if (yield from self._serve_inflight(target, size)):
+            return
+        self.cache_misses += 1
+        yield from self._disk_read(target, size)
+
+    def _fetch_local(self, target: Hashable, size: int):
+        if (yield from self._serve_inflight(target, size)):
+            return
+        assert self.cache is not None
+        if self.cache.access(target, size):
+            self.cache_hits += 1
+            yield Service(self.cpu, self.costs.transmit_time(size))
+            return
+        self.cache_misses += 1
+        yield from self._disk_read(target, size)
+
+    def _serve_inflight(self, target: Hashable, size: int):
+        """Handle a request whose file is currently being read from disk.
+
+        Returns True (and completes the data path) if the file was
+        in-flight: with coalescing the request waits for the one read in
+        progress; without it, the request issues its own independent read
+        (the paper's baseline the coalescing optimization removes).
+        """
+        pending = self._pending.get(target)
+        if pending is None:
+            return False
+        self.cache_misses += 1
+        if self.coalesce_reads:
+            self.coalesced_reads += 1
+            yield Wait(pending)
+            yield Service(self.cpu, self.costs.transmit_time(size))
+        else:
+            yield from self._chunked_read(target, size)
+        return True
+
+    def _disk_read(self, target: Hashable, size: int):
+        """First read of a file: registers the in-flight marker."""
+        event = SimEvent(self.engine, name=f"read[{self.node_id}:{target}]")
+        self._pending[target] = event
+        yield from self._chunked_read(target, size)
+        del self._pending[target]
+        event.trigger()
+
+    def _chunked_read(self, target: Hashable, size: int):
+        """Chunked read from disk, interleaving transmit per block."""
+        self.disk_reads += 1
+        disk = self.disk_for(target)
+        for chunk_bytes, disk_time in self.costs.disk_chunks(size):
+            yield Service(disk, disk_time)
+            yield Service(self.cpu, self.costs.transmit_time(chunk_bytes))
+
+    def _fetch_gms(self, target: Hashable, size: int):
+        assert self.gms is not None
+        if (yield from self._serve_inflight(target, size)):
+            return
+        result = self.gms.access(self.node_id, target, size)
+        if result.outcome is GMSOutcome.LOCAL_HIT:
+            self.cache_hits += 1
+            self.gms_local_hits += 1
+            yield Service(self.cpu, self.costs.transmit_time(size))
+        elif result.outcome is GMSOutcome.REMOTE_HIT:
+            # Counted as a memory hit cluster-wide: the request is served
+            # without touching a disk, but both peers pay fetch CPU.
+            self.cache_hits += 1
+            self.gms_remote_hits += 1
+            holder = self.peers[result.holder]
+            fetch = self.costs.gms_fetch_time(size)
+            yield Service(holder.cpu, fetch)
+            yield Service(self.cpu, fetch)
+            yield Service(self.cpu, self.costs.transmit_time(size))
+        else:
+            self.cache_misses += 1
+            yield from self._disk_read(target, size)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def cpu_utilization(self) -> float:
+        """Fraction of simulated time this node's CPU was busy."""
+        return self.cpu.utilization()
+
+    def disk_utilization(self) -> float:
+        """Mean busy fraction across this node's disks."""
+        return sum(d.utilization() for d in self.disks) / len(self.disks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BackendNode {self.node_id} served={self.requests_served} "
+            f"hits={self.cache_hits} misses={self.cache_misses}>"
+        )

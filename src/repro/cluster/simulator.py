@@ -1,0 +1,252 @@
+"""Top-level trace-driven cluster simulation (paper Sections 3 and 4).
+
+:class:`ClusterConfig` captures every knob the paper sweeps — strategy,
+cluster size, per-node cache size and replacement policy, disks per node,
+CPU speed — with defaults equal to the paper's defaults (GDS replacement,
+32 MB caches, one disk, T_low=25 / T_high=65, K=20 s).
+:func:`run_simulation` wires the policy, back-ends and front-end together,
+runs the trace to completion, and returns a
+:class:`~repro.cluster.metrics.SimulationResult`.
+
+Multi-disk placement follows the paper's footnote: "the files were
+distributed across the disks in round-robin fashion based on decreasing
+order of request frequency in the trace" — see :func:`stripe_by_frequency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..cache import GDSCache, GlobalMemorySystem, LFUCache, LRUCache
+from ..cache.base import Cache
+from ..core import Policy, make_policy, uses_gms
+from ..core.base import DEFAULT_T_HIGH, DEFAULT_T_LOW
+from ..core.lardr import DEFAULT_K_SECONDS
+from ..sim import Engine
+from ..workload.trace import Trace
+from .costs import PAPER_NODE_CACHE_BYTES, CostModel
+from .frontend import FrontEnd
+from .metrics import UNDERUTILIZATION_FRACTION, LoadTracker, SimulationResult
+from .node import BackendNode
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSimulator",
+    "run_simulation",
+    "make_cache",
+    "stripe_by_frequency",
+    "CACHE_POLICIES",
+]
+
+#: Replacement policies selectable per back-end node.
+CACHE_POLICIES = ("gds", "lru", "lru-unbounded", "lfu")
+
+
+def make_cache(policy: str, capacity_bytes: int, name: str = "") -> Cache:
+    """Instantiate a per-node cache by name.
+
+    ``lru`` is the paper's LRU variant (files > 500 KB never cached);
+    ``lru-unbounded`` is textbook LRU with no admission filter.
+    """
+    key = policy.lower()
+    if key == "gds":
+        return GDSCache(capacity_bytes, name=name)
+    if key == "lru":
+        return LRUCache.paper_variant(capacity_bytes, name=name)
+    if key == "lru-unbounded":
+        return LRUCache(capacity_bytes, name=name)
+    if key == "lfu":
+        return LFUCache(capacity_bytes, name=name)
+    raise ValueError(f"unknown cache policy {policy!r}; expected one of {CACHE_POLICIES}")
+
+
+def stripe_by_frequency(trace: Trace, num_disks: int) -> np.ndarray:
+    """Target -> disk index, round-robin in decreasing request frequency.
+
+    This is the paper's generous multi-disk placement: it balances the hot
+    set across the disks of each node with respect to the trace.
+    """
+    counts = trace.request_counts()
+    order = np.argsort(-counts, kind="stable")
+    disk_of = np.empty(trace.num_targets, dtype=np.int64)
+    disk_of[order] = np.arange(trace.num_targets) % num_disks
+    return disk_of
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One simulated cluster configuration."""
+
+    policy: str = "lard/r"
+    num_nodes: int = 8
+    node_cache_bytes: int = PAPER_NODE_CACHE_BYTES
+    cache_policy: str = "gds"
+    disks_per_node: int = 1
+    costs: CostModel = field(default_factory=CostModel)
+    t_low: int = DEFAULT_T_LOW
+    t_high: int = DEFAULT_T_HIGH
+    k_seconds: float = DEFAULT_K_SECONDS
+    #: Override the cluster-wide admission limit (default: the paper's S).
+    max_in_flight: Optional[int] = None
+    #: Bound on the front-end mapping table (None = unbounded, Section 2.6).
+    max_mappings: Optional[int] = None
+    #: GMS remote hits copy the file into the requester's cache
+    #: (Feeley-style page movement); see :class:`repro.cache.GlobalMemorySystem`.
+    gms_copy: bool = True
+    #: GMS replacement mode: "gds" (per-node caches + copy) or "lru"
+    #: (single-copy global LRU with forwarding).
+    gms_replacement: str = "gds"
+    #: Coalesce concurrent misses on one file into a single disk read
+    #: (paper Section 3.1); disable only for the ablation bench.
+    coalesce_reads: bool = True
+    #: Membership schedule: ``((time_s, "fail"|"join", node), ...)``.
+    #: Failures drop the node's mappings/cache per paper Section 2.6;
+    #: joins bring it back cold.
+    membership_events: Tuple[Tuple[float, str, int], ...] = ()
+    #: When set, completions are bucketed into intervals of this many
+    #: simulated seconds (throughput timelines for dynamic experiments).
+    timeline_interval_s: Optional[float] = None
+    #: HTTP/1.1 persistent connections: consecutive trace requests grouped
+    #: per connection (1 = the paper's HTTP/1.0 evaluation).
+    requests_per_connection: int = 1
+    #: How persistent connections are distributed: "sticky" (first
+    #: request's back-end serves the whole connection) or "rehandoff"
+    #: (re-run the policy per request; paper Section 5).
+    persistent_policy: str = "sticky"
+    #: Record every request's delay so percentiles can be reported
+    #: (Section 4.4 extension; costs one float per request).
+    collect_delays: bool = False
+
+    def scaled_cpu(self, cpu_multiplier: float, memory_multiplier: float = 1.0) -> "ClusterConfig":
+        """The Figure 11/12 scaling: faster CPU, proportionally larger cache."""
+        return replace(
+            self,
+            costs=self.costs.with_cpu_speed(cpu_multiplier),
+            node_cache_bytes=int(self.node_cache_bytes * memory_multiplier),
+        )
+
+
+class ClusterSimulator:
+    """Builds and runs one cluster over one trace."""
+
+    def __init__(self, trace: Trace, config: ClusterConfig) -> None:
+        if config.num_nodes < 1:
+            raise ValueError(f"need at least one node, got {config.num_nodes}")
+        self.trace = trace
+        self.config = config
+        self.engine = Engine()
+        policy_kwargs = dict(t_low=config.t_low, t_high=config.t_high)
+        if config.policy in ("lard", "lard/r") and config.max_mappings is not None:
+            policy_kwargs["max_mappings"] = config.max_mappings
+        if config.policy == "lard/r":
+            policy_kwargs["k_seconds"] = config.k_seconds
+        self.policy: Policy = make_policy(
+            config.policy,
+            config.num_nodes,
+            node_cache_bytes=config.node_cache_bytes,
+            **policy_kwargs,
+        )
+        self.gms: Optional[GlobalMemorySystem] = None
+        if uses_gms(config.policy):
+            self.gms = GlobalMemorySystem(
+                config.num_nodes,
+                config.node_cache_bytes,
+                replacement=config.gms_replacement,
+                copy_on_remote_hit=config.gms_copy,
+            )
+        self.nodes: List[BackendNode] = []
+        disk_of = (
+            stripe_by_frequency(trace, config.disks_per_node)
+            if config.disks_per_node > 1
+            else None
+        )
+        for node_id in range(config.num_nodes):
+            cache = (
+                None
+                if self.gms is not None
+                else make_cache(config.cache_policy, config.node_cache_bytes, name=f"n{node_id}")
+            )
+            node = BackendNode(
+                self.engine,
+                node_id,
+                config.costs,
+                cache,
+                num_disks=config.disks_per_node,
+                gms=self.gms,
+                coalesce_reads=config.coalesce_reads,
+            )
+            node.disk_of_target = disk_of
+            self.nodes.append(node)
+        for node in self.nodes:
+            node.peers = self.nodes
+        self.tracker = LoadTracker(
+            config.num_nodes, threshold=UNDERUTILIZATION_FRACTION * config.t_low
+        )
+        self.frontend = FrontEnd(
+            self.engine,
+            self.policy,
+            self.nodes,
+            trace,
+            self.tracker,
+            max_in_flight=config.max_in_flight,
+            requests_per_connection=config.requests_per_connection,
+            persistent_policy=config.persistent_policy,
+        )
+
+    def run(self) -> SimulationResult:
+        """Serve the whole trace and report the paper's metrics."""
+        self.frontend.timeline_interval_s = self.config.timeline_interval_s
+        self.frontend.collect_delays = self.config.collect_delays
+        for when, action, node in self.config.membership_events:
+            if action == "fail":
+                self.engine.schedule(when, self.frontend.fail_node, node)
+            elif action == "join":
+                self.engine.schedule(when, self.frontend.join_node, node)
+            else:
+                raise ValueError(f"unknown membership action {action!r}")
+        self.frontend.start()
+        end_time = self.engine.run()
+        if not self.frontend.done:
+            raise RuntimeError(
+                f"simulation stalled: {self.frontend.completed}/{len(self.trace)} served"
+            )
+        nodes = self.nodes
+        return SimulationResult(
+            policy=self.config.policy,
+            num_nodes=self.config.num_nodes,
+            num_requests=len(self.trace),
+            sim_time_s=end_time,
+            cache_hits=sum(n.cache_hits for n in nodes),
+            cache_misses=sum(n.cache_misses for n in nodes),
+            disk_reads=sum(n.disk_reads for n in nodes),
+            coalesced_reads=sum(n.coalesced_reads for n in nodes),
+            total_delay_s=self.frontend.total_delay_s,
+            idle_fraction=self.tracker.mean_underutilized_fraction(end_time),
+            cpu_busy_fraction=sum(n.cpu_utilization() for n in nodes) / len(nodes),
+            disk_busy_fraction=sum(n.disk_utilization() for n in nodes) / len(nodes),
+            bytes_served=sum(n.bytes_served for n in nodes),
+            gms_local_hits=sum(n.gms_local_hits for n in nodes),
+            gms_remote_hits=sum(n.gms_remote_hits for n in nodes),
+            per_node_mean_delay_s=[
+                d / c if c else 0.0
+                for d, c in zip(
+                    self.frontend.per_node_delay_s, self.frontend.per_node_completions
+                )
+            ],
+            timeline=dict(self.frontend.timeline),
+            orphaned_connections=self.frontend.orphaned,
+            connections=self.frontend.connections,
+            rehandoffs=self.frontend.rehandoffs,
+            delays_s=list(self.frontend.delays_s),
+        )
+
+
+def run_simulation(trace: Trace, config: Optional[ClusterConfig] = None, **overrides) -> SimulationResult:
+    """Convenience wrapper: build a config (plus overrides) and run it."""
+    base = config if config is not None else ClusterConfig()
+    if overrides:
+        base = replace(base, **overrides)
+    return ClusterSimulator(trace, base).run()

@@ -1,0 +1,186 @@
+"""Policy interface shared by the simulator and the prototype front-end.
+
+Every request-distribution strategy in the paper runs at the front-end and
+sees exactly two kinds of information (Section 2.1):
+
+* the *content* of the request — the target token and its size — available
+  because the front-end accepts the connection before handing it off; and
+* per-back-end *load*, estimated with no back-end communication as the
+  number of active (handed-off, not yet completed) connections.
+
+:class:`Policy` encodes that contract.  The owning front-end calls
+:meth:`Policy.choose` to pick a back-end for a request, then
+:meth:`Policy.on_dispatch` / :meth:`Policy.on_complete` as the connection
+is handed off and finishes; the base class maintains the active-connection
+load vector so concrete strategies only implement decision logic.
+
+The base class also owns the paper's admission rule: the front-end limits
+the number of connections admitted cluster-wide to
+
+    S = (n - 1) * T_high + T_low - 1
+
+so that no node can sit idle (< T_low) while every other node is saturated
+(>= T_high), yet enough connections are admitted to keep all n nodes busy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Optional, Sequence
+
+__all__ = ["Policy", "PolicyError", "DEFAULT_T_LOW", "DEFAULT_T_HIGH", "admission_limit"]
+
+#: Paper Section 2.4: "settings of T_low = 25 and T_high = 65 active
+#: connections give good performance across all workloads we tested".
+DEFAULT_T_LOW = 25
+DEFAULT_T_HIGH = 65
+
+
+class PolicyError(RuntimeError):
+    """Raised on invalid policy configuration or bookkeeping violations."""
+
+
+def admission_limit(num_nodes: int, t_low: int = DEFAULT_T_LOW, t_high: int = DEFAULT_T_HIGH) -> int:
+    """The paper's cluster-wide connection limit S = (n-1)*T_high + T_low - 1."""
+    if num_nodes < 1:
+        raise PolicyError(f"need at least one node, got {num_nodes}")
+    return (num_nodes - 1) * t_high + t_low - 1
+
+
+class Policy(abc.ABC):
+    """Base class for front-end request-distribution strategies.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of back-end nodes; ids are ``0..num_nodes-1``.
+    t_low / t_high:
+        The load thresholds of Section 2.4.  They parameterize both the
+        LARD migration tests and the shared admission limit, so every
+        strategy is compared under identical admission control (as in the
+        paper's simulations).
+    """
+
+    #: Registry name, overridden by subclasses (e.g. ``"lard/r"``).
+    name: str = "policy"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        t_low: int = DEFAULT_T_LOW,
+        t_high: int = DEFAULT_T_HIGH,
+    ) -> None:
+        if num_nodes < 1:
+            raise PolicyError(f"need at least one node, got {num_nodes}")
+        if not 0 < t_low < t_high:
+            raise PolicyError(f"need 0 < t_low < t_high, got {t_low}, {t_high}")
+        self.num_nodes = num_nodes
+        self.t_low = t_low
+        self.t_high = t_high
+        self.loads: List[int] = [0] * num_nodes
+        self._alive: List[bool] = [True] * num_nodes
+        self.dispatches = 0
+        self.completions = 0
+
+    # -- front-end contract ---------------------------------------------------
+
+    @abc.abstractmethod
+    def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
+        """Pick the back-end node for a request.
+
+        ``now`` is the front-end's clock (simulated or wall time); only
+        time-dependent strategies (LARD/R's replication decay) use it.
+        """
+
+    def on_dispatch(self, node: int, target: Hashable = None, size: int = 0) -> None:
+        """A connection was handed off to ``node``."""
+        self._check_alive(node)
+        self.loads[node] += 1
+        self.dispatches += 1
+
+    def on_complete(self, node: int, target: Hashable = None, size: int = 0) -> None:
+        """A previously dispatched connection finished at ``node``."""
+        if self.loads[node] <= 0:
+            raise PolicyError(f"completion on node {node} with zero load")
+        self.loads[node] -= 1
+        self.completions += 1
+
+    @property
+    def admission_limit(self) -> int:
+        """Cluster-wide cap on simultaneously admitted connections (S)."""
+        return admission_limit(self.alive_count, self.t_low, self.t_high)
+
+    @property
+    def total_load(self) -> int:
+        return sum(self.loads)
+
+    # -- membership / failure handling (paper Section 2.6) ---------------------
+
+    @property
+    def alive_nodes(self) -> List[int]:
+        return [n for n in range(self.num_nodes) if self._alive[n]]
+
+    @property
+    def alive_count(self) -> int:
+        return sum(self._alive)
+
+    def is_alive(self, node: int) -> bool:
+        """True if ``node`` is currently part of the cluster."""
+        return self._alive[node]
+
+    def on_node_failure(self, node: int) -> None:
+        """Remove a back-end.  Strategies drop any state naming the node:
+
+        "The front end simply re-assigns targets assigned to the failed
+        back end as if they had not been assigned before."
+        """
+        self._check_alive(node)
+        self._alive[node] = False
+        self.loads[node] = 0
+        if self.alive_count == 0:
+            raise PolicyError("last back-end failed; cluster is empty")
+
+    def on_node_join(self, node: int) -> None:
+        """(Re)introduce a back-end with an empty cache and zero load."""
+        if not 0 <= node < self.num_nodes:
+            raise PolicyError(f"node id {node} out of range")
+        if self._alive[node]:
+            raise PolicyError(f"node {node} is already alive")
+        self._alive[node] = True
+        self.loads[node] = 0
+
+    # -- helpers for subclasses -------------------------------------------------
+
+    def _check_alive(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise PolicyError(f"node id {node} out of range")
+        if not self._alive[node]:
+            raise PolicyError(f"node {node} is not alive")
+
+    def least_loaded_node(self) -> int:
+        """Alive node with the fewest active connections (lowest id wins ties)."""
+        best = -1
+        best_load = None
+        for node in range(self.num_nodes):
+            if not self._alive[node]:
+                continue
+            load = self.loads[node]
+            if best_load is None or load < best_load:
+                best, best_load = node, load
+        if best < 0:  # pragma: no cover - guarded by failure handling
+            raise PolicyError("no alive back-end nodes")
+        return best
+
+    def has_node_below(self, threshold: int) -> bool:
+        """True if any alive node's load is strictly below ``threshold``."""
+        return any(
+            self._alive[node] and self.loads[node] < threshold
+            for node in range(self.num_nodes)
+        )
+
+    def describe(self) -> str:
+        """Short human-readable configuration summary."""
+        return f"{self.name}(n={self.num_nodes}, T_low={self.t_low}, T_high={self.t_high})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()} loads={self.loads}>"

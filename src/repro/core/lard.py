@@ -1,0 +1,112 @@
+"""Basic locality-aware request distribution — LARD (paper Figure 2).
+
+The front-end maintains a one-to-one ``target -> node`` mapping.  The
+first request for a target binds it to a lightly loaded node; subsequent
+requests follow the mapping *unless* doing so would leave the cluster
+significantly imbalanced, in which case the target is re-assigned:
+
+    while true:
+        fetch next request r
+        if server[r.target] = null then
+            n <- server[r.target] <- {least loaded node}
+        else
+            n <- server[r.target]
+            if (n.load > T_high && exists node with load < T_low) ||
+               n.load >= 2 * T_high then
+                n <- server[r.target] <- {least loaded node}
+        send r to n
+
+The two migration tests make the cost of a move (cold cache at the new
+node) worth paying: combined with the admission limit S they guarantee the
+load gap between old and new node is at least T_high - T_low.
+
+Section 2.6 notes that the mapping table can be bounded by an LRU cache of
+mappings, "of little consequence as these targets have most likely been
+evicted from the back end's cache anyway" — ``max_mappings`` implements
+that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from .base import Policy, PolicyError
+
+__all__ = ["LARD"]
+
+
+class LARD(Policy):
+    """Basic LARD: one serving node per target, migrated under imbalance.
+
+    Parameters
+    ----------
+    num_nodes, t_low, t_high:
+        See :class:`~repro.core.base.Policy`.
+    max_mappings:
+        Optional bound on the ``target -> node`` table; the least recently
+        used mapping is discarded when the bound is exceeded (Section 2.6).
+    """
+
+    name = "lard"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        max_mappings: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_nodes, **kwargs)
+        if max_mappings is not None and max_mappings < 1:
+            raise PolicyError(f"max_mappings must be >= 1, got {max_mappings}")
+        self.max_mappings = max_mappings
+        self._server: "OrderedDict[Hashable, int]" = OrderedDict()
+        self.assignments = 0
+        self.reassignments = 0
+        self.mapping_evictions = 0
+
+    # -- decision logic (Figure 2) ---------------------------------------------
+
+    def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
+        """The Figure 2 decision: follow the mapping, migrating under imbalance."""
+        node = self._server.get(target)
+        if node is None or not self._alive[node]:
+            node = self.least_loaded_node()
+            self._bind(target, node)
+            self.assignments += 1
+            return node
+        self._server.move_to_end(target)
+        load = self.loads[node]
+        if (load > self.t_high and self.has_node_below(self.t_low)) or (
+            load >= 2 * self.t_high
+        ):
+            node = self.least_loaded_node()
+            self._bind(target, node)
+            self.reassignments += 1
+        return node
+
+    # -- mapping table -----------------------------------------------------------
+
+    def _bind(self, target: Hashable, node: int) -> None:
+        self._server[target] = node
+        self._server.move_to_end(target)
+        if self.max_mappings is not None and len(self._server) > self.max_mappings:
+            self._server.popitem(last=False)
+            self.mapping_evictions += 1
+
+    def assigned_node(self, target: Hashable) -> Optional[int]:
+        """Current mapping for ``target`` (introspection/testing)."""
+        return self._server.get(target)
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self._server)
+
+    def on_node_failure(self, node: int) -> None:
+        """Drop every mapping to the failed node (paper Section 2.6):
+        targets are re-assigned on next request "as if they had not been
+        assigned before"."""
+        super().on_node_failure(node)
+        stale = [t for t, n in self._server.items() if n == node]
+        for target in stale:
+            del self._server[target]

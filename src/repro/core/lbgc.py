@@ -1,0 +1,75 @@
+"""Idealized locality-based strategy with a global cache — "LB/GC".
+
+Paper Section 4: *"we also simulate an idealized locality based strategy,
+termed LB/GC, where the front end keeps track of each back end's cache
+state to achieve the effect of a global cache.  On a cache hit, the front
+end sends the request to the back end that caches the target.  On a miss,
+the front end sends the request to the back end that caches the globally
+'oldest' target, thus causing eviction of that target."*
+
+The cache bookkeeping lives in
+:class:`repro.cache.directory.GlobalCacheDirectory`; this class adapts it
+to the :class:`~repro.core.base.Policy` interface.  LB/GC exists as an
+upper bound on locality: the paper's finding is that plain LB (and LARD)
+get within a hair of it without tracking any cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..cache.directory import GlobalCacheDirectory
+from .base import Policy, PolicyError
+
+__all__ = ["LocalityGlobalCache"]
+
+
+class LocalityGlobalCache(Policy):
+    """Front-end routing driven by a mirror of every back-end cache."""
+
+    name = "lb/gc"
+
+    def __init__(self, num_nodes: int, node_cache_bytes: int, **kwargs) -> None:
+        super().__init__(num_nodes, **kwargs)
+        if node_cache_bytes <= 0:
+            raise PolicyError(f"node_cache_bytes must be positive, got {node_cache_bytes}")
+        self.node_cache_bytes = int(node_cache_bytes)
+        self.directory = GlobalCacheDirectory(num_nodes, node_cache_bytes)
+        self.predicted_hits = 0
+        self.predicted_misses = 0
+        self._last_prediction: bool = False
+
+    def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
+        """Route per the idealized global cache directory."""
+        decision = self.directory.route(target, size)
+        node = decision.node
+        if not self._alive[node]:
+            # The directory only mirrors alive nodes after on_node_failure,
+            # but a stale route right at failure time falls back to the
+            # least-loaded survivor.
+            node = self.least_loaded_node()
+        self._last_prediction = decision.predicted_hit
+        if decision.predicted_hit:
+            self.predicted_hits += 1
+        else:
+            self.predicted_misses += 1
+        return node
+
+    def take_prediction(self) -> bool:
+        """Hit/miss prediction for the request just routed by :meth:`choose`.
+
+        LB/GC is *idealized*: the front-end's cache model is authoritative
+        by definition, so the simulator serves requests according to this
+        prediction rather than a separately drifting back-end cache.
+        """
+        return self._last_prediction
+
+    def on_node_failure(self, node: int) -> None:
+        """Drop the failed node's directory entries and stop routing to it."""
+        super().on_node_failure(node)
+        self.directory.drop_node(node)
+
+    @property
+    def predicted_hit_ratio(self) -> float:
+        total = self.predicted_hits + self.predicted_misses
+        return self.predicted_hits / total if total else 0.0

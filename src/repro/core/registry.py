@@ -1,0 +1,64 @@
+"""Policy registry: names used throughout the paper mapped to factories.
+
+The six strategies simulated in Section 4:
+
+========  =====================================================
+``wrr``      weighted round-robin (state of the art baseline)
+``lb``       hash-partitioned locality-based
+``lb/gc``    idealized locality-based with a front-end global cache
+``lard``     basic LARD (Figure 2)
+``lard/r``   LARD with replication (Figure 3)
+``wrr/gms``  WRR over back-ends sharing a global memory system
+========  =====================================================
+
+``wrr/gms`` reuses the WRR decision logic; the cooperative-cache behaviour
+lives in the cluster simulator (enable it via :func:`uses_gms`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from .base import Policy, PolicyError
+from .lard import LARD
+from .lardr import LARDReplication
+from .lbgc import LocalityGlobalCache
+from .locality import HashLocality
+from .wrr import WeightedRoundRobin
+
+__all__ = ["POLICY_NAMES", "make_policy", "uses_gms"]
+
+#: Every strategy name accepted by :func:`make_policy`, in paper order.
+POLICY_NAMES = ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+
+
+def uses_gms(name: str) -> bool:
+    """True if the named strategy requires the global memory system."""
+    return name == "wrr/gms"
+
+
+def make_policy(
+    name: str,
+    num_nodes: int,
+    node_cache_bytes: Optional[int] = None,
+    **kwargs,
+) -> Policy:
+    """Instantiate a strategy by its paper name.
+
+    ``node_cache_bytes`` is required for ``lb/gc`` (the front-end mirrors
+    back-end caches) and ignored by every other strategy.
+    """
+    key = name.lower()
+    if key in ("wrr", "wrr/gms"):
+        return WeightedRoundRobin(num_nodes, **kwargs)
+    if key == "lb":
+        return HashLocality(num_nodes, **kwargs)
+    if key == "lb/gc":
+        if node_cache_bytes is None:
+            raise PolicyError("lb/gc needs node_cache_bytes to mirror back-end caches")
+        return LocalityGlobalCache(num_nodes, node_cache_bytes=node_cache_bytes, **kwargs)
+    if key == "lard":
+        return LARD(num_nodes, **kwargs)
+    if key == "lard/r":
+        return LARDReplication(num_nodes, **kwargs)
+    raise PolicyError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")

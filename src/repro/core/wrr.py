@@ -1,0 +1,50 @@
+"""Weighted round-robin — the state-of-the-art baseline (paper Section 2.2).
+
+"In state-of-the-art cluster servers, the front end uses weighted
+round-robin request distribution.  The incoming requests are distributed
+in round-robin fashion, weighted by some measure of the load on the
+different back ends ... the number of open connections in each back end
+may be used as an estimate of the load."
+
+This implementation rotates a round-robin pointer and, at each request,
+scans the ring starting from the pointer for the alive node with the
+lowest active-connection count.  Starting the scan at the rotating pointer
+is what makes equal-load nodes receive requests in round-robin order
+(plain "least loaded, lowest id" would starve high-numbered nodes during
+warm-up and under uniform load).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .base import Policy
+
+__all__ = ["WeightedRoundRobin"]
+
+
+class WeightedRoundRobin(Policy):
+    """Round-robin weighted by active connection count."""
+
+    name = "wrr"
+
+    def __init__(self, num_nodes: int, **kwargs) -> None:
+        super().__init__(num_nodes, **kwargs)
+        self._pointer = 0
+
+    def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
+        """Pick the least-loaded node, breaking ties round-robin."""
+        best = -1
+        best_load = None
+        n = self.num_nodes
+        for offset in range(n):
+            node = (self._pointer + offset) % n
+            if not self._alive[node]:
+                continue
+            load = self.loads[node]
+            if best_load is None or load < best_load:
+                best, best_load = node, load
+        if best < 0:  # pragma: no cover - guarded by Policy failure handling
+            raise RuntimeError("no alive back-end nodes")
+        self._pointer = (best + 1) % n
+        return best

@@ -1,0 +1,41 @@
+"""Live TCP hand-off prototype (paper Sections 5 and 6).
+
+A working cluster on loopback: a front-end that accepts connections,
+inspects the HTTP request, runs any :mod:`repro.core` policy, and hands
+the *established* connection to a back-end that replies directly to the
+client.  The kernel hand-off module of the paper is replaced by in-process
+socket transfer (default) or genuine cross-process FD passing over
+SCM_RIGHTS (:mod:`repro.handoff.fdpass`).
+"""
+
+from .backend import BackendServer, BackendStats, HandoffItem, PERSISTENT_MODES
+from .client import LoadGenerator, LoadResult, fetch_one
+from .cluster import ClusterStats, HandoffCluster, L4ProxyCluster
+from .dispatcher import Dispatcher
+from .docroot import DocumentStore
+from .frontend import FrontEndServer, FrontEndStats
+from .http import HTTPError, HTTPRequest, build_response, parse_request_head
+from .l4proxy import L4ProxyFrontEnd, L4ProxyStats
+
+__all__ = [
+    "HandoffCluster",
+    "L4ProxyCluster",
+    "L4ProxyFrontEnd",
+    "L4ProxyStats",
+    "ClusterStats",
+    "BackendServer",
+    "BackendStats",
+    "HandoffItem",
+    "PERSISTENT_MODES",
+    "FrontEndServer",
+    "FrontEndStats",
+    "Dispatcher",
+    "DocumentStore",
+    "LoadGenerator",
+    "LoadResult",
+    "fetch_one",
+    "HTTPRequest",
+    "HTTPError",
+    "parse_request_head",
+    "build_response",
+]

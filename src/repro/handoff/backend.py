@@ -1,0 +1,325 @@
+"""Back-end HTTP server for the hand-off prototype.
+
+Plays the role of the paper's Apache back-ends: it never accepts TCP
+connections itself — every connection it serves arrived *established*,
+handed off by the front-end together with the bytes already read.  The
+response is written straight to the client socket; the front-end never
+touches outgoing data (paper Figure 15, step 5).
+
+Each back-end keeps a bounded main-memory cache of whole files over the
+shared :class:`~repro.handoff.docroot.DocumentStore`.  A cache miss reads
+the file from the real filesystem *and sleeps* ``miss_penalty_s`` — the
+stand-in for the 1998 disk documented in DESIGN.md, preserving the paper's
+huge cached/uncached cost ratio on modern hardware (where the page cache
+would otherwise hide misses entirely).
+
+Persistent connections (paper Section 5, HTTP/1.1 discussion) support the
+two policies the hand-off protocol was designed for: ``sticky`` lets one
+back-end serve every request on the connection; ``rehandoff`` re-consults
+the dispatcher per request and forwards the connection to the newly chosen
+back-end.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..cache import GDSCache, LRUCache
+from ..cache.base import Cache
+from .dispatcher import Dispatcher
+from .docroot import DocumentStore
+from .http import HTTPError, HTTPRequest, build_response, parse_request_head
+
+__all__ = ["BackendServer", "BackendStats", "HandoffItem", "PERSISTENT_MODES"]
+
+PERSISTENT_MODES = ("sticky", "rehandoff")
+
+_KEEPALIVE_TIMEOUT_S = 5.0
+_RECV_BYTES = 65536
+
+
+@dataclass
+class HandoffItem:
+    """One handed-off connection: the live socket plus bytes already read."""
+
+    conn: socket.socket
+    buffered: bytes
+    request: Optional[HTTPRequest]
+
+
+@dataclass
+class BackendStats:
+    requests_served: int = 0
+    connections: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_sent: int = 0
+    errors: int = 0
+    rehandoffs_out: int = 0
+
+
+class BackendServer:
+    """A threaded back-end serving handed-off HTTP connections."""
+
+    def __init__(
+        self,
+        node_id: int,
+        store: DocumentStore,
+        cache_bytes: int = 8 * 2**20,
+        cache_policy: str = "gds",
+        miss_penalty_s: float = 0.02,
+        workers: int = 4,
+        persistent_mode: str = "sticky",
+    ) -> None:
+        if persistent_mode not in PERSISTENT_MODES:
+            raise ValueError(
+                f"persistent_mode must be one of {PERSISTENT_MODES}, got {persistent_mode!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.node_id = node_id
+        self.store = store
+        self.miss_penalty_s = miss_penalty_s
+        self.persistent_mode = persistent_mode
+        self._cache: Cache = (
+            GDSCache(cache_bytes, name=f"be{node_id}")
+            if cache_policy == "gds"
+            else LRUCache(cache_bytes, name=f"be{node_id}")
+        )
+        self._payload: Dict[str, bytes] = {}
+        self._cache.evict_listener = lambda name, size: self._payload.pop(name, None)
+        self._cache_lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[HandoffItem]]" = queue.Queue()
+        self._workers = workers
+        self._threads: list = []
+        self._running = False
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self.stats = BackendStats()
+        #: Wired by the cluster: the shared dispatcher and peer list.
+        self.dispatcher: Optional[Dispatcher] = None
+        self.peers: Sequence["BackendServer"] = ()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads that serve handed-off connections."""
+        if self._running:
+            raise RuntimeError(f"backend {self.node_id} already started")
+        self._running = True
+        for i in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"backend{self.node_id}-w{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop accepting and join every worker thread."""
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            if self._accept_thread is not None:
+                self._accept_thread.join(timeout=5)
+            self._listener = None
+            self._accept_thread = None
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    # -- listening mode (for L4-proxy deployments) -----------------------------
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0):
+        """Accept TCP connections directly (no hand-off front-end).
+
+        Used by the Layer-4 proxy comparator
+        (:mod:`repro.handoff.l4proxy`), where the front-end relays bytes
+        instead of transferring connections, so the back-end must be
+        reachable over ordinary TCP.  Returns the listening (host, port).
+        """
+        if self._listener is not None:
+            raise RuntimeError(f"backend {self.node_id} is already listening")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(256)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"backend{self.node_id}-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return listener.getsockname()[:2]
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.handoff(HandoffItem(conn=conn, buffered=b"", request=None))
+
+    # -- the hand-off entry point ------------------------------------------------
+
+    def handoff(self, item: HandoffItem) -> None:
+        """Take over an established client connection (front-end API)."""
+        self._queue.put(item)
+
+    # -- serving -------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            try:
+                self._serve_connection(item)
+            except Exception:
+                self.stats.errors += 1
+                try:
+                    item.conn.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, item: HandoffItem) -> None:
+        """Serve requests on a handed-off connection until it closes."""
+        conn, buffered, request = item.conn, item.buffered, item.request
+        self.stats.connections += 1
+        target = request.target if request else None
+        forwarded = False
+        try:
+            while True:
+                if request is None:
+                    request, buffered = self._read_request(conn, buffered)
+                    if request is None:
+                        break  # client closed or idle timeout
+                    target = request.target
+                    if self.persistent_mode == "rehandoff" and self.dispatcher is not None:
+                        new_node = self.dispatcher.reroute(self.node_id, request.target)
+                        if new_node != self.node_id:
+                            self.stats.rehandoffs_out += 1
+                            forwarded = True
+                            self.peers[new_node].handoff(
+                                HandoffItem(conn=conn, buffered=buffered, request=request)
+                            )
+                            return  # connection now belongs to the peer
+                buffered = buffered[request.head_bytes:] if request.head_bytes else buffered
+                keep_alive = self._serve_one(conn, request)
+                request = None
+                if not keep_alive:
+                    break
+        finally:
+            if not forwarded:
+                self._finish_connection(conn, target)
+
+    def _finish_connection(self, conn: socket.socket, target) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if self.dispatcher is not None:
+            self.dispatcher.complete(self.node_id, target)
+
+    def _read_request(self, conn: socket.socket, buffered: bytes):
+        """Read the next request head on a persistent connection."""
+        conn.settimeout(_KEEPALIVE_TIMEOUT_S)
+        data = buffered
+        while True:
+            try:
+                request = parse_request_head(data)
+            except HTTPError as exc:
+                self._send_error(conn, exc)
+                return None, b""
+            if request is not None:
+                return request, data
+            try:
+                chunk = conn.recv(_RECV_BYTES)
+            except (socket.timeout, OSError):
+                return None, b""
+            if not chunk:
+                return None, b""
+            data += chunk
+
+    def _serve_one(self, conn: socket.socket, request: HTTPRequest) -> bool:
+        """Serve one parsed request; returns whether to keep the connection."""
+        if request.method != "GET":
+            self._send(conn, build_response(501, b"GET only", version=request.version))
+            self.stats.errors += 1
+            return False
+        body = self._fetch(request.target)
+        keep_alive = request.keep_alive
+        if body is None:
+            payload = build_response(
+                404, b"not found", keep_alive=keep_alive, version=request.version
+            )
+        else:
+            payload = build_response(
+                200,
+                body,
+                keep_alive=keep_alive,
+                version=request.version,
+                extra_headers={"X-Backend": str(self.node_id)},
+            )
+        self._send(conn, payload)
+        self.stats.requests_served += 1
+        self.stats.bytes_sent += len(payload)
+        return keep_alive
+
+    def _send(self, conn: socket.socket, payload: bytes) -> None:
+        conn.settimeout(_KEEPALIVE_TIMEOUT_S)
+        conn.sendall(payload)
+
+    def _send_error(self, conn: socket.socket, exc: HTTPError) -> None:
+        self.stats.errors += 1
+        try:
+            self._send(conn, build_response(exc.status, exc.reason.encode("latin-1")))
+        except OSError:
+            pass
+
+    # -- the file cache ----------------------------------------------------------
+
+    def _fetch(self, name: str) -> Optional[bytes]:
+        """Whole-file cache lookup with the disk-penalty miss path."""
+        size = self.store.size_of(name)
+        if size is None:
+            return None
+        with self._cache_lock:
+            if self._cache.access(name, size):
+                body = self._payload.get(name)
+                if body is not None:
+                    self.stats.cache_hits += 1
+                    return body
+                # The entry is booked in the cache but its bytes are still
+                # being read by another worker: treat as a miss and read
+                # independently (the simulator's coalescing has no cheap
+                # threaded analogue here).
+                self.stats.cache_misses += 1
+            else:
+                self.stats.cache_misses += 1
+        # Miss path: real file read plus the simulated disk penalty, done
+        # outside the lock so misses on different files overlap (the
+        # simulator's per-disk queue analogue is the OS scheduler here).
+        if self.miss_penalty_s > 0:
+            time.sleep(self.miss_penalty_s)
+        body = self.store.read(name)
+        with self._cache_lock:
+            if self._cache.peek(name):
+                self._payload[name] = body
+        return body
+
+    @property
+    def cache_stats(self):
+        return self._cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BackendServer {self.node_id} served={self.stats.requests_served}>"

@@ -1,0 +1,299 @@
+"""One-call wiring for a complete prototype cluster (paper Section 6).
+
+:class:`HandoffCluster` assembles the pieces — a shared
+:class:`~repro.handoff.docroot.DocumentStore`, N
+:class:`~repro.handoff.backend.BackendServer` threads, a
+:class:`~repro.handoff.dispatcher.Dispatcher` around any
+:mod:`repro.core` policy, and the
+:class:`~repro.handoff.frontend.FrontEndServer` — on loopback TCP, and
+tears them down cleanly.  Use it as a context manager:
+
+>>> from repro.handoff import HandoffCluster, DocumentStore, LoadGenerator
+>>> import tempfile
+>>> store = DocumentStore.build(tempfile.mkdtemp(), {"/a": 512})  # doctest: +SKIP
+>>> with HandoffCluster(store, num_backends=2, policy="lard/r") as cluster:
+...     result = LoadGenerator(cluster.address, ["/a"], concurrency=2).run(20)
+...     # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core import make_policy
+from .backend import BackendServer, BackendStats
+from .dispatcher import Dispatcher
+from .docroot import DocumentStore
+from .frontend import FrontEndServer, FrontEndStats
+from .l4proxy import L4ProxyFrontEnd, L4ProxyStats
+
+__all__ = ["HandoffCluster", "L4ProxyCluster", "ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated statistics across the front-end and all back-ends."""
+
+    frontend: FrontEndStats
+    backends: List[BackendStats]
+    loads: List[int]
+
+    @property
+    def requests_served(self) -> int:
+        return sum(b.requests_served for b in self.backends)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(b.cache_hits for b in self.backends)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(b.cache_misses for b in self.backends)
+
+    @property
+    def cache_miss_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    @property
+    def per_backend_requests(self) -> List[int]:
+        return [b.requests_served for b in self.backends]
+
+
+class HandoffCluster:
+    """A running front-end + back-ends prototype cluster on loopback."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        num_backends: int = 4,
+        policy: str = "lard/r",
+        cache_bytes: int = 8 * 2**20,
+        miss_penalty_s: float = 0.02,
+        workers_per_backend: int = 4,
+        persistent_mode: str = "sticky",
+        t_low: int = 4,
+        t_high: int = 12,
+        max_in_flight: Optional[int] = None,
+        handler_threads: int = 16,
+    ) -> None:
+        self.store = store
+        policy_obj = make_policy(
+            policy, num_backends, node_cache_bytes=cache_bytes, t_low=t_low, t_high=t_high
+        )
+        self.dispatcher = Dispatcher(policy_obj, max_in_flight=max_in_flight)
+        self.backends = [
+            BackendServer(
+                node_id,
+                store,
+                cache_bytes=cache_bytes,
+                miss_penalty_s=miss_penalty_s,
+                workers=workers_per_backend,
+                persistent_mode=persistent_mode,
+            )
+            for node_id in range(num_backends)
+        ]
+        for backend in self.backends:
+            backend.dispatcher = self.dispatcher
+            backend.peers = self.backends
+        self.frontend = FrontEndServer(
+            self.dispatcher, self.backends, store=store, handler_threads=handler_threads
+        )
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Start back-ends then the front-end; returns the client address."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for backend in self.backends:
+            backend.start()
+        self.frontend.start()
+        self._started = True
+        return self.address
+
+    def stop(self) -> None:
+        """Shut down the front-end and back-ends (idempotent)."""
+        if not self._started:
+            return
+        self.frontend.stop()
+        for backend in self.backends:
+            backend.stop()
+        self._started = False
+
+    def __enter__(self) -> "HandoffCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.frontend.address
+
+    @property
+    def num_backends(self) -> int:
+        return len(self.backends)
+
+    def wait_idle(self, timeout_s: float = 5.0) -> bool:
+        """Block until every admitted connection has completed.
+
+        Clients observe their final response bytes a moment before the
+        back-end finishes its own bookkeeping, so call this before reading
+        :meth:`stats` after a load run.  Returns False on timeout.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.dispatcher.in_flight == 0:
+                return True
+            time.sleep(0.005)
+        return self.dispatcher.in_flight == 0
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        """Snapshot of front-end and per-back-end statistics."""
+        return ClusterStats(
+            frontend=self.frontend.stats,
+            backends=[b.stats for b in self.backends],
+            loads=self.dispatcher.loads,
+        )
+
+    def verify(self, path: str, body: bytes) -> bool:
+        """End-to-end content check callback for :class:`LoadGenerator`."""
+        try:
+            return body == self.store.expected_content(path)
+        except KeyError:
+            return False
+
+
+class L4ProxyCluster:
+    """The commercial-comparator deployment: an L4 relay over TCP back-ends.
+
+    Content-oblivious by construction (the back-end is chosen before any
+    request byte is read), so only load-based distribution applies — WRR,
+    exactly as the paper says of 1998's commercial front-ends.  Response
+    bytes flow through the front-end; compare
+    ``stats().proxy.bytes_relayed`` against a
+    :class:`HandoffCluster`, whose front-end never touches them.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        num_backends: int = 4,
+        cache_bytes: int = 8 * 2**20,
+        miss_penalty_s: float = 0.02,
+        workers_per_backend: int = 4,
+        t_low: int = 4,
+        t_high: int = 12,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        policy = make_policy("wrr", num_backends, t_low=t_low, t_high=t_high)
+        self.dispatcher = Dispatcher(policy, max_in_flight=max_in_flight)
+        self.backends = [
+            BackendServer(
+                node_id,
+                store,
+                cache_bytes=cache_bytes,
+                miss_penalty_s=miss_penalty_s,
+                workers=workers_per_backend,
+            )
+            for node_id in range(num_backends)
+        ]
+        self.proxy: Optional[L4ProxyFrontEnd] = None
+        self._started = False
+
+    def start(self) -> Tuple[str, int]:
+        """Start listening back-ends then the relay proxy; returns its address."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        addresses = []
+        for backend in self.backends:
+            backend.start()
+            addresses.append(backend.listen())
+        self.proxy = L4ProxyFrontEnd(self.dispatcher, addresses)
+        self.proxy.start()
+        self._started = True
+        return self.address
+
+    def stop(self) -> None:
+        """Shut down the proxy and back-ends (idempotent)."""
+        if not self._started:
+            return
+        assert self.proxy is not None
+        self.proxy.stop()
+        for backend in self.backends:
+            backend.stop()
+        self._started = False
+
+    def __enter__(self) -> "L4ProxyCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.proxy is not None
+        return self.proxy.address
+
+    def wait_idle(self, timeout_s: float = 5.0) -> bool:
+        """Block until every proxied connection has completed."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.dispatcher.in_flight == 0:
+                return True
+            time.sleep(0.005)
+        return self.dispatcher.in_flight == 0
+
+    def stats(self) -> "L4ClusterStats":
+        """Snapshot of proxy and per-back-end statistics."""
+        assert self.proxy is not None
+        return L4ClusterStats(
+            proxy=self.proxy.stats,
+            backends=[b.stats for b in self.backends],
+            loads=self.dispatcher.loads,
+        )
+
+    def verify(self, path: str, body: bytes) -> bool:
+        """End-to-end content check callback for :class:`LoadGenerator`."""
+        try:
+            return body == self.store.expected_content(path)
+        except KeyError:
+            return False
+
+
+@dataclass
+class L4ClusterStats:
+    """Aggregated statistics for the L4 proxy deployment."""
+
+    proxy: L4ProxyStats
+    backends: List[BackendStats]
+    loads: List[int]
+
+    @property
+    def requests_served(self) -> int:
+        return sum(b.requests_served for b in self.backends)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(b.cache_misses for b in self.backends)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(b.cache_hits for b in self.backends)
+
+    @property
+    def cache_miss_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0

@@ -1,0 +1,83 @@
+"""Thread-safe dispatcher: a :class:`repro.core.Policy` behind a lock.
+
+The paper's dispatcher is "a software module that implements the
+distribution policy (e.g. LARD)" running at the front-end.  This class
+makes any policy from :mod:`repro.core` usable from the prototype's
+threads, and implements the front-end's admission control: a semaphore of
+S slots (the same S as the simulator), acquired per accepted connection
+and released when the connection completes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Hashable, List, Optional
+
+from ..core.base import Policy
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Serializes policy decisions and tracks cluster-wide admission."""
+
+    def __init__(self, policy: Policy, max_in_flight: Optional[int] = None) -> None:
+        self.policy = policy
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else policy.admission_limit
+        )
+        if self.max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {self.max_in_flight}")
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(self.max_in_flight)
+        self.admitted = 0
+        self.completed = 0
+        self.transfers = 0
+
+    def admit(self, target: Hashable, size: int = 0, timeout: Optional[float] = None) -> Optional[int]:
+        """Admit one connection and pick its back-end.
+
+        Blocks until an admission slot is free (or ``timeout`` expires, in
+        which case None is returned and nothing is held).
+        """
+        if not self._slots.acquire(timeout=timeout):
+            return None
+        with self._lock:
+            node = self.policy.choose(target, size, now=time.monotonic())
+            self.policy.on_dispatch(node, target, size)
+            self.admitted += 1
+        return node
+
+    def reroute(self, current_node: int, target: Hashable, size: int = 0) -> int:
+        """Pick the back-end for the *next* request on a persistent connection.
+
+        If the policy picks a different node, the connection's load
+        accounting moves with it (one hand-off protocol re-invocation in
+        the real system).  No admission slot changes hands — the
+        connection is already admitted.
+        """
+        with self._lock:
+            node = self.policy.choose(target, size, now=time.monotonic())
+            if node != current_node:
+                self.policy.on_complete(current_node, target, size)
+                self.policy.on_dispatch(node, target, size)
+                self.transfers += 1
+        return node
+
+    def complete(self, node: int, target: Hashable = None, size: int = 0) -> None:
+        """A connection finished at ``node``: release its slot."""
+        with self._lock:
+            self.policy.on_complete(node, target, size)
+            self.completed += 1
+        self._slots.release()
+
+    @property
+    def loads(self) -> List[int]:
+        with self._lock:
+            return list(self.policy.loads)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self.admitted - self.completed

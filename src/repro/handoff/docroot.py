@@ -1,0 +1,133 @@
+"""Document store for the prototype cluster.
+
+The paper's prototype serves a static document tree with Apache back-ends
+driven by a segment of the Rice trace.  :class:`DocumentStore` is the
+equivalent substrate here: it materializes a docroot on disk (one file per
+target, deterministic content so responses are verifiable end to end) and
+can be built straight from any :class:`repro.workload.Trace`.
+
+Back-end misses read these files through the real filesystem; because a
+2026 page cache makes that nearly free, the back-end charges an explicit
+``miss_penalty_s`` (see :class:`repro.handoff.backend.BackendServer`) to
+stand in for the 1998 disk, keeping the cached/uncached cost ratio that
+the paper's results depend on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..workload.trace import Trace
+
+__all__ = ["DocumentStore"]
+
+
+def _content_for(name: str, size: int) -> bytes:
+    """Deterministic pseudo-random content of exactly ``size`` bytes."""
+    if size == 0:
+        return b""
+    seed = hashlib.sha256(name.encode("utf-8")).digest()
+    reps = (size + len(seed) - 1) // len(seed)
+    return (seed * reps)[:size]
+
+
+class DocumentStore:
+    """An on-disk docroot with a target -> (path, size) catalog."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._catalog: Dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, root: Path, documents: Mapping[str, int]) -> "DocumentStore":
+        """Materialize ``{url_path: size_bytes}`` under ``root``."""
+        store = cls(root)
+        store.root.mkdir(parents=True, exist_ok=True)
+        for name, size in documents.items():
+            store.add(name, size)
+        return store
+
+    @classmethod
+    def from_trace(
+        cls,
+        root: Path,
+        trace: Trace,
+        max_documents: Optional[int] = None,
+        max_file_bytes: Optional[int] = None,
+    ) -> Tuple["DocumentStore", list]:
+        """Materialize a trace's catalog as documents.
+
+        Targets are named ``/t<token>``; when ``max_documents`` is given,
+        only the most-requested targets are materialized and the returned
+        request list is filtered accordingly.  Returns ``(store, urls)``
+        where ``urls`` is the trace's request stream as URL paths.
+        """
+        counts = trace.request_counts()
+        order = counts.argsort()[::-1]
+        keep = set(order[:max_documents].tolist()) if max_documents else None
+        documents: Dict[str, int] = {}
+        urls = []
+        for token in range(trace.num_targets):
+            if keep is not None and token not in keep:
+                continue
+            size = int(trace.sizes_by_target[token])
+            if max_file_bytes is not None:
+                size = min(size, max_file_bytes)
+            documents[f"/t{token}"] = size
+        for request in trace:
+            if keep is None or request.target in keep:
+                urls.append(f"/t{request.target}")
+        store = cls.build(root, documents)
+        return store, urls
+
+    def add(self, name: str, size: int) -> None:
+        """Create one document of ``size`` deterministic bytes."""
+        if not name.startswith("/"):
+            raise ValueError(f"document names are URL paths, got {name!r}")
+        if size < 0:
+            raise ValueError(f"negative size for {name!r}")
+        path = self._path_of(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(_content_for(name, size))
+        self._catalog[name] = size
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _path_of(self, name: str) -> Path:
+        relative = name.lstrip("/").replace("?", "%3F") or "index"
+        return self.root / relative
+
+    def size_of(self, name: str) -> Optional[int]:
+        """Catalog size of a document, or None if unknown."""
+        return self._catalog.get(name)
+
+    def read(self, name: str) -> bytes:
+        """Read a document's bytes from disk (raises KeyError if unknown)."""
+        if name not in self._catalog:
+            raise KeyError(name)
+        return self._path_of(name).read_bytes()
+
+    def expected_content(self, name: str) -> bytes:
+        """What :meth:`read` must return (for end-to-end verification)."""
+        if name not in self._catalog:
+            raise KeyError(name)
+        return _content_for(name, self._catalog[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    @property
+    def names(self):
+        return list(self._catalog)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._catalog.values())

@@ -1,0 +1,167 @@
+"""Front-end server: accept, inspect, hand off (paper Figure 15).
+
+The sequence per connection, mirroring the paper:
+
+1. the client connects to the front-end (the only address it knows);
+2. the front-end accepts and reads until the request head is complete —
+   this is the *content inspection* that makes content-based distribution
+   possible, and the reason a hand-off mechanism is needed at all;
+3. the dispatcher (any :mod:`repro.core` policy) picks a back-end;
+4. the established connection is handed off: the socket object and every
+   byte already read travel to the back-end;
+5. the back-end replies directly to the client — the front-end is out of
+   the data path from this point on.
+
+In-kernel TCP hand-off and the ACK-forwarding module are replaced by
+in-process socket transfer (or cross-process FD passing, see
+:mod:`repro.handoff.fdpass`); the control flow and accounting are the
+paper's.  Hand-off latency and throughput counters correspond to the
+Section 6.2 measurements.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .backend import BackendServer, HandoffItem
+from .dispatcher import Dispatcher
+from .docroot import DocumentStore
+from .http import HTTPError, build_response, parse_request_head
+
+__all__ = ["FrontEndServer", "FrontEndStats"]
+
+_RECV_BYTES = 65536
+_HEAD_TIMEOUT_S = 5.0
+
+
+@dataclass
+class FrontEndStats:
+    accepted: int = 0
+    handoffs: int = 0
+    errors: int = 0
+    handoff_time_total_s: float = 0.0
+
+    @property
+    def mean_handoff_latency_s(self) -> float:
+        """Mean accept-to-handoff time (the Section 6.2 hand-off latency)."""
+        return self.handoff_time_total_s / self.handoffs if self.handoffs else 0.0
+
+
+class FrontEndServer:
+    """Accepts client connections and hands them to back-ends."""
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        backends: Sequence[BackendServer],
+        store: Optional[DocumentStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handler_threads: int = 16,
+    ) -> None:
+        if len(backends) != dispatcher.policy.num_nodes:
+            raise ValueError(
+                f"dispatcher expects {dispatcher.policy.num_nodes} back-ends, "
+                f"got {len(backends)}"
+            )
+        self.dispatcher = dispatcher
+        self.backends = backends
+        self.store = store
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pool = ThreadPoolExecutor(max_workers=handler_threads, thread_name_prefix="fe")
+        self._running = False
+        self.stats = FrontEndStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self):
+        """(host, port) clients should connect to (valid after start)."""
+        if self._listener is None:
+            raise RuntimeError("front-end not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> None:
+        """Bind, listen, and start the accept loop."""
+        if self._running:
+            raise RuntimeError("front-end already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(512)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fe-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Close the listener and drain handler threads."""
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self._pool.shutdown(wait=True)
+
+    # -- accept / inspect / hand off ------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.stats.accepted += 1
+            self._pool.submit(self._handle, conn, time.perf_counter())
+
+    def _handle(self, conn: socket.socket, accepted_at: float) -> None:
+        try:
+            conn.settimeout(_HEAD_TIMEOUT_S)
+            data = b""
+            request = None
+            while request is None:
+                chunk = conn.recv(_RECV_BYTES)
+                if not chunk:
+                    conn.close()
+                    return
+                data += chunk
+                request = parse_request_head(data)
+            size = 0
+            if self.store is not None:
+                size = self.store.size_of(request.target) or 0
+            node = self.dispatcher.admit(request.target, size)
+            if node is None:  # pragma: no cover - admit() without timeout blocks
+                conn.close()
+                return
+            self.stats.handoffs += 1
+            self.stats.handoff_time_total_s += time.perf_counter() - accepted_at
+            self.backends[node].handoff(
+                HandoffItem(conn=conn, buffered=data, request=request)
+            )
+        except HTTPError as exc:
+            self.stats.errors += 1
+            try:
+                conn.sendall(build_response(exc.status, exc.reason.encode("latin-1")))
+            except OSError:
+                pass
+            conn.close()
+        except OSError:
+            self.stats.errors += 1
+            try:
+                conn.close()
+            except OSError:
+                pass

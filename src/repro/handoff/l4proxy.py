@@ -1,0 +1,189 @@
+"""Layer-4 proxy front-end — the commercial comparator (paper Section 7).
+
+"State-of-the-art commercial cluster front-ends (e.g. Cisco LocalDirector,
+IBM Network Dispatcher) assign requests without regard to the requested
+content and can therefore forward client requests to a back-end node prior
+to establishing a connection with the client."  Two consequences the paper
+exploits:
+
+* such a front-end **cannot** run LARD — it never sees the URL before
+  committing to a back-end — so only load-based policies (WRR) apply;
+* because the client's connection terminates at (or is relayed through)
+  the front-end, response bytes flow *through* it, unlike hand-off where
+  the back-end answers the client directly.
+
+:class:`L4ProxyFrontEnd` implements the relay variant in user space:
+accept, pick a back-end by WRR *before reading a single request byte*,
+open a TCP connection to that back-end, and pump bytes both ways.  The
+per-byte relay cost it pays on the response path is precisely what the
+paper's hand-off protocol eliminates; the sec6.2 bench quantifies the
+difference on the same workload.
+
+Back-ends must run in *listening* mode
+(:meth:`repro.handoff.backend.BackendServer.listen`) so the proxy can
+reach them over TCP like any L4 device would.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .dispatcher import Dispatcher
+
+__all__ = ["L4ProxyFrontEnd", "L4ProxyStats"]
+
+_RELAY_BYTES = 65536
+_IO_TIMEOUT_S = 10.0
+
+
+@dataclass
+class L4ProxyStats:
+    accepted: int = 0
+    proxied: int = 0
+    errors: int = 0
+    bytes_to_backend: int = 0
+    bytes_to_client: int = 0
+
+    @property
+    def bytes_relayed(self) -> int:
+        """Every byte of this total crossed the front-end's CPU — the cost
+        hand-off avoids."""
+        return self.bytes_to_backend + self.bytes_to_client
+
+
+class L4ProxyFrontEnd:
+    """Content-oblivious relay front-end over listening back-ends."""
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        backend_addresses: Sequence[Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if len(backend_addresses) != dispatcher.policy.num_nodes:
+            raise ValueError(
+                f"dispatcher expects {dispatcher.policy.num_nodes} back-ends, "
+                f"got {len(backend_addresses)}"
+            )
+        self.dispatcher = dispatcher
+        self.backend_addresses = list(backend_addresses)
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self.stats = L4ProxyStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("proxy not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> None:
+        """Bind, listen, and start relaying accepted connections."""
+        if self._running:
+            raise RuntimeError("proxy already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(512)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="l4-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Close the listener and stop accepting."""
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    # -- proxying -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.stats.accepted += 1
+            threading.Thread(
+                target=self._proxy_connection, args=(client,), daemon=True
+            ).start()
+
+    def _proxy_connection(self, client: socket.socket) -> None:
+        # The defining L4 limitation: the back-end is chosen NOW, before
+        # any request byte has been read.
+        node = self.dispatcher.admit(target=None)
+        if node is None:  # pragma: no cover - blocking admit
+            client.close()
+            return
+        upstream: Optional[socket.socket] = None
+        try:
+            upstream = socket.create_connection(
+                self.backend_addresses[node], timeout=_IO_TIMEOUT_S
+            )
+            self.stats.proxied += 1
+            done = threading.Event()
+            to_backend = threading.Thread(
+                target=self._pump,
+                args=(client, upstream, "bytes_to_backend", done),
+                daemon=True,
+            )
+            to_backend.start()
+            self._pump(upstream, client, "bytes_to_client", done)
+            to_backend.join(timeout=_IO_TIMEOUT_S)
+        except OSError:
+            self.stats.errors += 1
+        finally:
+            for conn in (client, upstream):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            self.dispatcher.complete(node)
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        counter: str,
+        done: threading.Event,
+    ) -> None:
+        """Relay bytes src -> dst until EOF — every byte costs front-end CPU."""
+        try:
+            src.settimeout(_IO_TIMEOUT_S)
+            while not done.is_set():
+                try:
+                    chunk = src.recv(_RELAY_BYTES)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                dst.sendall(chunk)
+                setattr(self.stats, counter, getattr(self.stats, counter) + len(chunk))
+        except OSError:
+            pass
+        finally:
+            done.set()
+            # Half-close so the peer pump sees EOF promptly.
+            try:
+                dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass

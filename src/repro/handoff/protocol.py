@@ -1,0 +1,95 @@
+"""Wire format for the cross-process hand-off channel.
+
+The paper layers its hand-off protocol on top of TCP between front-end and
+back-end kernels.  The user-space analogue sends, over a Unix domain
+socket:
+
+* a fixed header: magic, message type, payload length;
+* the payload: the request bytes the front-end already consumed;
+* and — the crucial part — the client connection's **file descriptor**,
+  attached as SCM_RIGHTS ancillary data, which is the user-space
+  equivalent of transferring the kernel TCP state.
+
+The receiving process reconstructs the socket with
+``socket.socket(fileno=fd)`` and owns the established client connection
+from then on; replies flow directly to the client, bypassing the
+front-end, exactly as in the paper's Figure 15.
+"""
+
+from __future__ import annotations
+
+import array
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "HandoffMessage",
+    "send_handoff",
+    "recv_handoff",
+    "ProtocolError",
+    "MSG_HANDOFF",
+    "MSG_SHUTDOWN",
+]
+
+_MAGIC = 0x4C415244  # "LARD"
+_HEADER = struct.Struct("!IBI")  # magic, type, payload length
+
+MSG_HANDOFF = 1
+MSG_SHUTDOWN = 2
+
+_MAX_PAYLOAD = 1 << 20
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or truncated hand-off message."""
+
+
+@dataclass(frozen=True)
+class HandoffMessage:
+    """One decoded hand-off channel message."""
+
+    msg_type: int
+    payload: bytes
+    fd: Optional[int] = None
+
+
+def send_handoff(channel: socket.socket, fd: int, payload: bytes) -> None:
+    """Hand the client socket ``fd`` plus consumed bytes to a peer process."""
+    if len(payload) > _MAX_PAYLOAD:
+        raise ProtocolError(f"payload too large: {len(payload)} bytes")
+    header = _HEADER.pack(_MAGIC, MSG_HANDOFF, len(payload))
+    fds = array.array("i", [fd])
+    socket.send_fds(channel, [header + payload], list(fds))
+
+
+def send_shutdown(channel: socket.socket) -> None:
+    """Ask the peer back-end process to exit its hand-off loop."""
+    channel.sendall(_HEADER.pack(_MAGIC, MSG_SHUTDOWN, 0))
+
+
+def _recv_exact(channel: socket.socket, count: int, initial: bytes) -> bytes:
+    data = initial
+    while len(data) < count:
+        chunk = channel.recv(count - len(data))
+        if not chunk:
+            raise ProtocolError("channel closed mid-message")
+        data += chunk
+    return data
+
+
+def recv_handoff(channel: socket.socket) -> Optional[HandoffMessage]:
+    """Receive one message; returns None when the channel is closed."""
+    data, fds, _flags, _addr = socket.recv_fds(channel, _HEADER.size + _MAX_PAYLOAD, 1)
+    if not data:
+        return None
+    data = _recv_exact(channel, _HEADER.size, data)
+    magic, msg_type, length = _HEADER.unpack(data[: _HEADER.size])
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad magic {magic:#x}")
+    payload = _recv_exact(channel, _HEADER.size + length, data)[_HEADER.size:]
+    fd = fds[0] if fds else None
+    if msg_type == MSG_HANDOFF and fd is None:
+        raise ProtocolError("hand-off message carried no file descriptor")
+    return HandoffMessage(msg_type=msg_type, payload=payload, fd=fd)

@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+A from-scratch, dependency-free event-list simulator with generator-based
+processes, FIFO multi-server resources, and one-shot broadcast events.  See
+:mod:`repro.sim.engine` and :mod:`repro.sim.resources` for details.
+"""
+
+from .engine import Delay, Engine, Process, SimulationError
+from .resources import Acquire, Release, Resource, Service, SimEvent, Wait
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Delay",
+    "SimulationError",
+    "Resource",
+    "Service",
+    "Acquire",
+    "Release",
+    "SimEvent",
+    "Wait",
+]

@@ -1,0 +1,187 @@
+"""Discrete-event simulation engine.
+
+This module provides the minimal-but-complete event-driven substrate used by
+the cluster simulator (:mod:`repro.cluster`).  It is deliberately independent
+of any web-server concepts so that it can be tested (and reused) on its own.
+
+The engine follows the classic event-list design:
+
+* :class:`Engine` owns a simulated clock and a priority queue of pending
+  events, each a ``(time, sequence, callback)`` triple.  Ties in time are
+  broken by insertion order, which makes runs fully deterministic.
+* :class:`Process` wraps a Python generator.  The generator *yields* command
+  objects (:class:`Delay`, :class:`Service`, :class:`Wait`, :class:`Acquire`,
+  :class:`Release` from :mod:`repro.sim.resources`) and is resumed by the
+  engine when the command completes.  This is the same coroutine style used
+  by SimPy, implemented here from scratch so the reproduction has no
+  third-party simulation dependency.
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def proc():
+...     yield Delay(2.0)
+...     log.append(eng.now)
+>>> _ = eng.process(proc())
+>>> eng.run()
+>>> log
+[2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+__all__ = ["Engine", "Process", "Delay", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling into the past)."""
+
+
+class Delay:
+    """Command: suspend the issuing process for ``duration`` simulated units.
+
+    ``Delay(0)`` is legal and yields control back to the engine for one
+    scheduling round, which is occasionally useful to let same-time events
+    interleave deterministically.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative delay: {duration!r}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.duration!r})"
+
+
+class Process:
+    """A generator-driven simulation process.
+
+    Created via :meth:`Engine.process`.  The wrapped generator communicates
+    with the engine by yielding command objects; any other yielded value
+    raises :class:`SimulationError` so silent protocol mistakes cannot
+    corrupt a simulation.
+
+    Attributes
+    ----------
+    finished:
+        True once the generator has run to completion.
+    value:
+        The value returned by the generator (via ``return value``), or
+        ``None``.
+    """
+
+    __slots__ = ("engine", "_gen", "finished", "value", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+        self.engine = engine
+        self._gen = gen
+        self.finished = False
+        self.value: Any = None
+        self.name = name
+
+    def _step(self, send_value: Any = None) -> None:
+        """Advance the generator by one command and arm the next wakeup."""
+        engine = self.engine
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.value = stop.value
+            return
+        if isinstance(command, Delay):
+            engine.schedule(command.duration, self._step)
+        elif hasattr(command, "_activate"):
+            # Resource-style commands (Service/Acquire/Release/Wait) register
+            # themselves and invoke ``process._step(result)`` when done.
+            command._activate(self)
+        else:
+            raise SimulationError(
+                f"process {self.name or self._gen!r} yielded an unknown "
+                f"command: {command!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "active"
+        return f"<Process {self.name or hex(id(self))} {state}>"
+
+
+class Engine:
+    """Deterministic event-list simulation engine.
+
+    The clock starts at 0.0 and only moves forward.  All scheduling is done
+    in relative time via :meth:`schedule`; absolute-time scheduling is
+    intentionally not offered because relative scheduling composes better
+    and cannot create events in the past.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._stopped = False
+        self.events_dispatched = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        if args:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, lambda: callback(*args)))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, starting it at the current time."""
+        proc = Process(self, gen, name=name)
+        # Start the process via the event queue (not synchronously) so that
+        # creation order and execution order are both deterministic.
+        self.schedule(0.0, proc._step)
+        return proc
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the queue is empty or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given, events
+        scheduled after it are left in the queue and the clock is advanced
+        exactly to ``until``.
+        """
+        self._stopped = False
+        queue = self._queue
+        while queue and not self._stopped:
+            when, _seq, callback = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(queue)
+            if when < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
+            self.now = when
+            self.events_dispatched += 1
+            callback()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the currently dispatching event returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now:.6f} pending={self.pending}>"

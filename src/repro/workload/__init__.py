@@ -1,0 +1,49 @@
+"""Workload substrate: tokenized traces, synthetic generators, statistics.
+
+The simulator consumes :class:`Trace` objects.  Synthetic stand-ins for the
+paper's proprietary traces are built by :func:`rice_like_trace`,
+:func:`ibm_like_trace` and :func:`chess_like_trace`; real logs can be
+ingested with :func:`parse_common_log`; Section 4.2's hot-target workloads
+come from :func:`inject_hot_targets`.
+"""
+
+from .hot import inject_hot_targets
+from .io import load_trace, save_trace
+from .logparse import LogParseStats, parse_common_log, tokenize_entries
+from .stats import (
+    TraceCDF,
+    coverage_bytes,
+    cumulative_distributions,
+    locality_profile,
+    working_set_bytes,
+)
+from .synthetic import (
+    chess_like_trace,
+    ibm_like_trace,
+    rice_like_trace,
+    synthesize_trace,
+    zipf_weights,
+)
+from .trace import Request, Trace, TraceError
+
+__all__ = [
+    "Request",
+    "Trace",
+    "TraceError",
+    "synthesize_trace",
+    "zipf_weights",
+    "rice_like_trace",
+    "ibm_like_trace",
+    "chess_like_trace",
+    "inject_hot_targets",
+    "save_trace",
+    "load_trace",
+    "parse_common_log",
+    "tokenize_entries",
+    "LogParseStats",
+    "TraceCDF",
+    "cumulative_distributions",
+    "coverage_bytes",
+    "working_set_bytes",
+    "locality_profile",
+]

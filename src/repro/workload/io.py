@@ -1,0 +1,57 @@
+"""Trace persistence: save/load tokenized traces as compact ``.npz`` files.
+
+Parsing multi-million-line logs (or regenerating synthetic traces) once
+and replaying them many times is the normal workflow, so traces serialize
+to a single compressed numpy archive: the token stream, the size table,
+and the name.  Loading is validated by the :class:`~repro.workload.trace.
+Trace` constructor, so a corrupted file cannot produce an inconsistent
+trace object.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .trace import Trace, TraceError
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        targets=trace.targets,
+        sizes_by_target=trace.sizes_by_target,
+        name=np.bytes_(trace.name.encode("utf-8")),
+    )
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                version = int(archive["version"])
+                targets = archive["targets"]
+                sizes = archive["sizes_by_target"]
+                name = bytes(archive["name"]).decode("utf-8")
+            except KeyError as missing:
+                raise TraceError(f"{path}: not a trace archive (missing {missing})")
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"{path}: cannot read trace archive: {exc}") from exc
+    if version != _FORMAT_VERSION:
+        raise TraceError(f"{path}: unsupported trace format version {version}")
+    return Trace(targets, sizes, name=name)

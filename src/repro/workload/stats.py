@@ -1,0 +1,104 @@
+"""Trace statistics: the analysis behind the paper's Figures 5 and 6.
+
+Those figures plot, for files sorted by decreasing request frequency, the
+cumulative fraction of requests and the cumulative fraction of the data-set
+size against normalized file rank.  :func:`cumulative_distributions`
+reproduces exactly that, and :func:`coverage_bytes` answers the companion
+question quoted in the paper ("560 MB of memory is needed to cover 97 % of
+all requests") used to characterize trace locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = [
+    "TraceCDF",
+    "cumulative_distributions",
+    "coverage_bytes",
+    "working_set_bytes",
+    "locality_profile",
+]
+
+
+@dataclass(frozen=True)
+class TraceCDF:
+    """Cumulative request/size curves over files ranked by popularity.
+
+    All arrays have one entry per *requested* file, ordered from most to
+    least requested.  ``file_rank`` is normalized to (0, 1]; the request
+    and size curves are normalized to their totals, matching the paper's
+    axes.
+    """
+
+    file_rank: np.ndarray
+    cumulative_requests: np.ndarray
+    cumulative_size: np.ndarray
+
+    def requests_covered_by_rank_fraction(self, fraction: float) -> float:
+        """Fraction of requests covered by the top ``fraction`` of files."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if fraction == 0:
+            return 0.0
+        index = int(np.searchsorted(self.file_rank, fraction, side="right")) - 1
+        return float(self.cumulative_requests[max(index, 0)])
+
+
+def _popularity_order(trace: Trace) -> np.ndarray:
+    """Requested targets sorted by decreasing request count (stable)."""
+    counts = trace.request_counts()
+    requested = np.flatnonzero(counts)
+    order = requested[np.argsort(-counts[requested], kind="stable")]
+    return order
+
+
+def cumulative_distributions(trace: Trace) -> TraceCDF:
+    """Compute the Figure 5/6 curves for ``trace``."""
+    counts = trace.request_counts()
+    order = _popularity_order(trace)
+    if len(order) == 0:
+        raise ValueError("trace has no requests")
+    sorted_counts = counts[order].astype(np.float64)
+    sorted_sizes = trace.sizes_by_target[order].astype(np.float64)
+    cum_requests = np.cumsum(sorted_counts)
+    cum_sizes = np.cumsum(sorted_sizes)
+    n = len(order)
+    return TraceCDF(
+        file_rank=np.arange(1, n + 1) / n,
+        cumulative_requests=cum_requests / cum_requests[-1],
+        cumulative_size=cum_sizes / cum_sizes[-1],
+    )
+
+
+def coverage_bytes(trace: Trace, request_fraction: float) -> int:
+    """Bytes of the hottest files needed to cover ``request_fraction`` of requests.
+
+    This is the paper's locality metric: sort files by request frequency,
+    take files until their cumulative request share reaches the threshold,
+    and report their total size.
+    """
+    if not 0 < request_fraction <= 1:
+        raise ValueError(f"request_fraction must be in (0, 1], got {request_fraction}")
+    counts = trace.request_counts()
+    order = _popularity_order(trace)
+    cum_requests = np.cumsum(counts[order])
+    threshold = request_fraction * cum_requests[-1]
+    index = int(np.searchsorted(cum_requests, threshold, side="left"))
+    return int(trace.sizes_by_target[order[: index + 1]].sum())
+
+
+def working_set_bytes(trace: Trace) -> int:
+    """Total size of all files requested at least once."""
+    counts = trace.request_counts()
+    return int(trace.sizes_by_target[counts > 0].sum())
+
+
+def locality_profile(trace: Trace, fractions: Sequence[float] = (0.97, 0.98, 0.99)) -> dict:
+    """Coverage table in MB, as quoted in the paper's Section 3.2."""
+    return {f: coverage_bytes(trace, f) / 2**20 for f in fractions}

@@ -1,0 +1,144 @@
+"""Trace containers: the tokenized request streams the simulator consumes.
+
+Section 3.2 of the paper: *"The input to the simulator is a stream of
+tokenized target requests, where each token represents a unique target
+being served.  Associated with each token is a target size in bytes."*
+
+:class:`Trace` is exactly that — a sequence of integer target tokens plus a
+per-target size table — backed by numpy arrays so multi-hundred-thousand
+request traces stay cheap to store and iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Request", "Trace", "TraceError"]
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace construction or access."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One tokenized request: which target, and how many bytes it is."""
+
+    target: int
+    size: int
+
+
+class Trace:
+    """A tokenized request stream over a fixed target catalog.
+
+    Parameters
+    ----------
+    targets:
+        Per-request target tokens, each in ``0..num_targets-1``.
+    sizes_by_target:
+        ``sizes_by_target[t]`` is the byte size of target ``t``.
+    name:
+        Human-readable label (used in reports).
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        sizes_by_target: Sequence[int],
+        name: str = "trace",
+    ) -> None:
+        self.targets = np.asarray(targets, dtype=np.int64)
+        self.sizes_by_target = np.asarray(sizes_by_target, dtype=np.int64)
+        self.name = name
+        if self.targets.ndim != 1 or self.sizes_by_target.ndim != 1:
+            raise TraceError("targets and sizes_by_target must be 1-D")
+        if len(self.sizes_by_target) == 0:
+            raise TraceError("empty target catalog")
+        if np.any(self.sizes_by_target < 0):
+            raise TraceError("negative target size")
+        if len(self.targets) and (
+            self.targets.min() < 0 or self.targets.max() >= len(self.sizes_by_target)
+        ):
+            raise TraceError("request token outside the target catalog")
+
+    # -- basic container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return int(len(self.targets))
+
+    def __iter__(self) -> Iterator[Request]:
+        sizes = self.sizes_by_target
+        for token in self.targets:
+            yield Request(int(token), int(sizes[token]))
+
+    def __getitem__(self, index: int) -> Request:
+        token = int(self.targets[index])
+        return Request(token, int(self.sizes_by_target[token]))
+
+    # -- derived views ---------------------------------------------------------
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` requests over the same catalog."""
+        return Trace(self.targets[:n], self.sizes_by_target, name=f"{self.name}[:{n}]")
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Requests ``start..stop`` over the same catalog."""
+        return Trace(
+            self.targets[start:stop],
+            self.sizes_by_target,
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+    def request_sizes(self) -> np.ndarray:
+        """Per-request byte sizes (vectorized)."""
+        return self.sizes_by_target[self.targets]
+
+    # -- aggregate statistics ----------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        return len(self)
+
+    @property
+    def num_targets(self) -> int:
+        """Catalog size (including targets never requested)."""
+        return int(len(self.sizes_by_target))
+
+    @property
+    def num_distinct_requested(self) -> int:
+        return int(len(np.unique(self.targets))) if len(self.targets) else 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Data-set size: sum of target sizes (each target counted once)."""
+        return int(self.sizes_by_target.sum())
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Sum of sizes over all requests (what the servers actually ship)."""
+        return int(self.request_sizes().sum()) if len(self.targets) else 0
+
+    @property
+    def mean_file_bytes(self) -> float:
+        return self.total_bytes / self.num_targets
+
+    @property
+    def mean_transfer_bytes(self) -> float:
+        return self.transferred_bytes / self.num_requests if len(self) else 0.0
+
+    def request_counts(self) -> np.ndarray:
+        """Per-target request counts (length ``num_targets``)."""
+        return np.bincount(self.targets, minlength=self.num_targets)
+
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's figure captions."""
+        return (
+            f"{self.name}: {self.num_requests} reqs, {self.num_targets} files, "
+            f"{self.total_bytes / 2**20:.0f} MB total"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.describe()}>"

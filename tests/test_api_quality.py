@@ -1,0 +1,67 @@
+"""API-quality gates: documentation and export hygiene across the library."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_all_exports_exist(module_name):
+    """Every name in __all__ is actually defined (no stale exports)."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+def _public_classes():
+    seen = {}
+    for module_name in _MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) and obj.__module__.startswith("repro"):
+                seen[f"{obj.__module__}.{obj.__qualname__}"] = obj
+    return sorted(seen.items())
+
+
+@pytest.mark.parametrize("qualname,cls", _public_classes())
+def test_public_classes_documented(qualname, cls):
+    assert cls.__doc__ and cls.__doc__.strip(), f"{qualname} lacks a docstring"
+
+
+@pytest.mark.parametrize("qualname,cls", _public_classes())
+def test_public_methods_documented(qualname, cls):
+    undocumented = []
+    for name, member in inspect.getmembers(cls, inspect.isfunction):
+        if name.startswith("_"):
+            continue
+        if member.__qualname__.split(".")[0] != cls.__name__:
+            continue  # inherited
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, f"{qualname} has undocumented methods: {undocumented}"
+
+
+def test_top_level_exports_resolvable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version_string():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))

@@ -1,0 +1,129 @@
+"""Unit tests for Greedy-Dual-Size replacement."""
+
+import pytest
+
+from repro.cache import GDSCache, CacheError
+
+
+def test_basic_hit_miss():
+    cache = GDSCache(100)
+    assert cache.access("a", 10) is False
+    assert cache.access("a", 10) is True
+
+
+def test_prefers_evicting_large_files():
+    # GDS(1): credit = L + 1/size, so the big file has the lowest credit.
+    cache = GDSCache(100)
+    cache.access("small", 2)
+    cache.access("big", 90)
+    cache.access("new", 20)  # needs room: big must go first
+    assert "small" in cache
+    assert "big" not in cache
+    assert "new" in cache
+
+
+def test_recency_still_matters_via_inflation():
+    cache = GDSCache(100)
+    cache.access("a", 50)
+    cache.access("b", 50)
+    # Evict a (same size, lower seq -> equal credit, a pushed first).
+    cache.access("c", 50)
+    assert "a" not in cache
+    # After the eviction, L has inflated; a re-inserted now outranks b.
+    cache.access("a", 50)
+    assert "b" not in cache
+    assert "a" in cache
+
+
+def test_inflation_is_monotonic():
+    cache = GDSCache(64)
+    last = cache.inflation
+    for i in range(50):
+        cache.access(f"t{i}", 16)
+        assert cache.inflation >= last
+        last = cache.inflation
+
+
+def test_hit_refreshes_credit_above_inflation():
+    cache = GDSCache(100)
+    cache.access("a", 10)
+    first = cache.credit_of("a")
+    cache.access("b", 90)  # may evict nothing yet (fits exactly)
+    cache.access("a", 10)
+    assert cache.credit_of("a") >= first
+
+
+def test_credit_formula_unit_cost():
+    cache = GDSCache(1000)
+    cache.access("a", 4)
+    assert cache.credit_of("a") == pytest.approx(0.25)  # L=0 + 1/4
+
+
+def test_custom_cost_function():
+    cache = GDSCache(100, cost_fn=lambda target, size: float(size))
+    cache.access("a", 10)
+    assert cache.credit_of("a") == pytest.approx(1.0)  # L + size/size
+
+
+def test_nonpositive_cost_rejected():
+    cache = GDSCache(100, cost_fn=lambda target, size: 0.0)
+    with pytest.raises(CacheError):
+        cache.access("a", 10)
+
+
+def test_zero_byte_file_has_finite_credit():
+    cache = GDSCache(100)
+    cache.access("empty", 0)
+    assert cache.credit_of("empty") == pytest.approx(1.0)
+    assert "empty" in cache
+
+
+def test_capacity_invariant_under_churn():
+    cache = GDSCache(500)
+    for i in range(200):
+        cache.access(f"t{i % 37}", (i * 13) % 90 + 1)
+        assert cache.used_bytes <= 500
+
+
+def test_next_victim_credit_matches_actual_victim():
+    cache = GDSCache(100)
+    cache.access("small", 2)
+    cache.access("big", 90)
+    credit = cache.next_victim_credit()
+    assert credit == pytest.approx(cache.credit_of("big"))
+    cache.access("x", 50)  # forces the eviction
+    assert "big" not in cache
+
+
+def test_next_victim_credit_empty():
+    assert GDSCache(100).next_victim_credit() is None
+
+
+def test_lazy_heap_compaction_keeps_behaviour():
+    cache = GDSCache(1000)
+    # Hammer two entries with hits to pile up stale heap entries.
+    cache.access("a", 10)
+    cache.access("b", 10)
+    for _ in range(500):
+        cache.access("a", 10)
+        cache.access("b", 10)
+    assert len(cache._heap) < 5000  # compaction bounded the garbage
+    cache.access("c", 990)  # evicts a and b
+    assert "c" in cache
+
+
+def test_oversized_rejected():
+    cache = GDSCache(100)
+    cache.access("big", 101)
+    assert "big" not in cache
+    assert cache.stats.rejected == 1
+
+
+def test_invalidate_then_no_stale_eviction():
+    cache = GDSCache(100)
+    cache.access("a", 40)
+    cache.access("b", 40)
+    cache.invalidate("a")
+    cache.access("c", 60)  # fits in freed space, b must survive
+    assert "b" in cache
+    assert "c" in cache

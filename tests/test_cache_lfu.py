@@ -1,0 +1,62 @@
+"""Unit tests for the LFU cache."""
+
+from repro.cache import LFUCache
+
+
+def test_evicts_least_frequent():
+    cache = LFUCache(100)
+    cache.access("hot", 40)
+    cache.access("hot", 40)
+    cache.access("hot", 40)
+    cache.access("cold", 40)
+    cache.access("new", 40)  # evicts cold (freq 1) not hot (freq 3)
+    assert "hot" in cache
+    assert "cold" not in cache
+
+
+def test_frequency_counter():
+    cache = LFUCache(100)
+    for _ in range(4):
+        cache.access("a", 10)
+    assert cache.frequency_of("a") == 4
+    assert cache.frequency_of("missing") == 0
+
+
+def test_tie_break_is_least_recent():
+    cache = LFUCache(100)
+    cache.access("first", 40)
+    cache.access("second", 40)
+    # Equal frequency: first is older -> evicted.
+    cache.access("third", 40)
+    assert "first" not in cache
+    assert "second" in cache
+
+
+def test_frequency_survives_until_eviction():
+    cache = LFUCache(100)
+    cache.access("a", 90)
+    cache.access("a", 90)
+    cache.access("b", 90)  # evicts a despite frequency 2 (only candidate)
+    assert "a" not in cache
+    # Re-inserting starts the count over.
+    cache.access("a", 90)
+    assert cache.frequency_of("a") == 1
+
+
+def test_capacity_invariant_and_stats():
+    cache = LFUCache(300)
+    for i in range(100):
+        cache.access(f"t{i % 11}", 50 + (i % 3))
+        assert cache.used_bytes <= 300
+    assert cache.stats.accesses == 100
+
+
+def test_stale_heap_compaction():
+    cache = LFUCache(100)
+    cache.access("a", 50)
+    for _ in range(600):
+        cache.access("a", 50)
+    assert len(cache._heap) < 4000
+    cache.access("b", 60)  # evicts a
+    assert "b" in cache
+    assert "a" not in cache

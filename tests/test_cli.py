@@ -1,0 +1,86 @@
+"""Tests for the lard-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.experiment == "fig7"
+        assert args.scale == "standard"
+
+    def test_run_scale_choice(self):
+        args = build_parser().parse_args(["run", "fig7", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--scale", "huge"])
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--policy", "lard", "--nodes", "4", "--disks", "2"]
+        )
+        assert args.policy == "lard"
+        assert args.nodes == 4
+        assert args.disks == 2
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "sec4.4-delay" in out
+
+    def test_trace_chess(self, capsys):
+        assert main(["trace", "chess", "--requests", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "chess-like" in out
+        assert "memory to cover" in out
+
+    def test_trace_rice_scaled(self, capsys):
+        assert main(["trace", "rice", "--requests", "2000", "--scale-factor", "0.05"]) == 0
+        assert "rice-like" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "wrr",
+                "--nodes",
+                "2",
+                "--trace",
+                "chess",
+                "--requests",
+                "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tput" in out
+        assert "disk reads" in out
+
+    def test_run_smoke_experiment(self, capsys):
+        # Exit code may be 1 (shape checks need larger scale); the render
+        # must still appear.
+        code = main(["run", "fig5", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert code in (0, 1)
+
+    def test_run_with_chart(self, capsys):
+        code = main(["run", "fig7", "--scale", "smoke", "--chart"])
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "o wrr" in out  # chart legend
+        assert code in (0, 1)

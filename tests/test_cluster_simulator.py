@@ -1,0 +1,165 @@
+"""Integration tests for the end-to-end cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulator,
+    CostModel,
+    make_cache,
+    run_simulation,
+    stripe_by_frequency,
+)
+from repro.cache import GDSCache, LFUCache, LRUCache
+from repro.workload import Trace, synthesize_trace
+
+
+def _trace(n_requests=4000, n_targets=200, total=5 * 10**6, alpha=1.0, seed=0):
+    return synthesize_trace(n_requests, n_targets, total, alpha, seed=seed)
+
+
+CACHE = 512 * 1024  # small cache so locality matters at this scale
+
+
+class TestBasicRuns:
+    def test_every_policy_serves_whole_trace(self):
+        trace = _trace(1500)
+        for policy in ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms"):
+            result = run_simulation(trace, policy=policy, num_nodes=3,
+                                    node_cache_bytes=CACHE)
+            assert result.num_requests == 1500, policy
+            assert result.sim_time_s > 0
+            assert result.cache_hits + result.cache_misses == 1500
+
+    def test_deterministic(self):
+        trace = _trace(1000)
+        a = run_simulation(trace, policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+        b = run_simulation(trace, policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+        assert a.sim_time_s == b.sim_time_s
+        assert a.cache_misses == b.cache_misses
+
+    def test_single_node_all_policies_equivalent(self):
+        """At n=1 every strategy routes everything to the only node."""
+        trace = _trace(1000)
+        times = set()
+        for policy in ("wrr", "lb", "lard", "lard/r", "wrr/gms"):
+            result = run_simulation(trace, policy=policy, num_nodes=1,
+                                    node_cache_bytes=CACHE)
+            times.add(round(result.sim_time_s, 9))
+        assert len(times) == 1
+
+    def test_throughput_metrics_consistent(self):
+        trace = _trace(1000)
+        result = run_simulation(trace, policy="lard", num_nodes=2,
+                                node_cache_bytes=CACHE)
+        assert result.throughput_rps == pytest.approx(1000 / result.sim_time_s)
+        assert result.bytes_served == trace.transferred_bytes
+
+
+class TestPaperShape:
+    def test_lard_beats_wrr_when_working_set_exceeds_node_cache(self):
+        trace = _trace(6000, n_targets=400, total=8 * 10**6)
+        wrr = run_simulation(trace, policy="wrr", num_nodes=4, node_cache_bytes=CACHE)
+        lard = run_simulation(trace, policy="lard/r", num_nodes=4, node_cache_bytes=CACHE)
+        assert lard.throughput_rps > wrr.throughput_rps * 1.3
+        assert lard.cache_miss_ratio < wrr.cache_miss_ratio
+
+    def test_wrr_has_lowest_idle(self):
+        trace = _trace(6000, n_targets=400, total=8 * 10**6)
+        wrr = run_simulation(trace, policy="wrr", num_nodes=4, node_cache_bytes=CACHE)
+        lb = run_simulation(trace, policy="lb", num_nodes=4, node_cache_bytes=CACHE)
+        assert wrr.idle_fraction <= lb.idle_fraction + 0.02
+
+    def test_cache_aggregation_reduces_miss_with_more_nodes(self):
+        trace = _trace(8000, n_targets=400, total=8 * 10**6)
+        misses = []
+        for n in (1, 2, 4):
+            result = run_simulation(trace, policy="lard/r", num_nodes=n,
+                                    node_cache_bytes=CACHE)
+            misses.append(result.cache_miss_ratio)
+        assert misses[2] < misses[0]
+
+    def test_faster_cpu_helps_lard_more_than_wrr(self):
+        trace = _trace(5000, n_targets=400, total=8 * 10**6)
+        def tput(policy, speed):
+            return run_simulation(
+                trace, policy=policy, num_nodes=4, node_cache_bytes=CACHE,
+                costs=CostModel(cpu_speed=speed),
+            ).throughput_rps
+        lard_gain = tput("lard/r", 4.0) / tput("lard/r", 1.0)
+        wrr_gain = tput("wrr", 4.0) / tput("wrr", 1.0)
+        assert lard_gain > wrr_gain
+
+    def test_extra_disks_help_wrr(self):
+        trace = _trace(4000, n_targets=400, total=8 * 10**6)
+        one = run_simulation(trace, policy="wrr", num_nodes=2,
+                             node_cache_bytes=CACHE, disks_per_node=1)
+        four = run_simulation(trace, policy="wrr", num_nodes=2,
+                              node_cache_bytes=CACHE, disks_per_node=4)
+        assert four.throughput_rps > one.throughput_rps * 1.3
+
+
+class TestGMS:
+    def test_gms_mode_populates_gms_counters(self):
+        trace = _trace(3000)
+        result = run_simulation(trace, policy="wrr/gms", num_nodes=3,
+                                node_cache_bytes=CACHE)
+        assert result.gms_remote_hits > 0
+
+    def test_gms_beats_plain_wrr(self):
+        trace = _trace(6000, n_targets=400, total=8 * 10**6)
+        wrr = run_simulation(trace, policy="wrr", num_nodes=4, node_cache_bytes=CACHE)
+        gms = run_simulation(trace, policy="wrr/gms", num_nodes=4, node_cache_bytes=CACHE)
+        assert gms.throughput_rps > wrr.throughput_rps
+
+    def test_gms_lru_mode_runs(self):
+        trace = _trace(2000)
+        result = run_simulation(trace, policy="wrr/gms", num_nodes=2,
+                                node_cache_bytes=CACHE, gms_replacement="lru")
+        assert result.num_requests == 2000
+
+
+class TestMakeCache:
+    def test_factory_types(self):
+        assert isinstance(make_cache("gds", 100), GDSCache)
+        assert isinstance(make_cache("lfu", 100), LFUCache)
+        lru = make_cache("lru", 100)
+        assert isinstance(lru, LRUCache)
+        assert lru.max_cacheable_bytes == 500 * 1024
+        unbounded = make_cache("lru-unbounded", 100)
+        assert unbounded.max_cacheable_bytes is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache("mru", 100)
+
+
+class TestStriping:
+    def test_round_robin_by_descending_frequency(self):
+        trace = Trace([0, 0, 0, 1, 1, 2], [10, 10, 10, 10], name="s")
+        disk_of = stripe_by_frequency(trace, 2)
+        # Popularity order: 0, 1, 2, 3 -> disks 0, 1, 0, 1.
+        assert disk_of.tolist() == [0, 1, 0, 1]
+
+    def test_all_disks_used(self):
+        trace = _trace(1000, n_targets=100)
+        disk_of = stripe_by_frequency(trace, 4)
+        assert set(np.unique(disk_of)) == {0, 1, 2, 3}
+
+
+class TestConfig:
+    def test_scaled_cpu_helper(self):
+        config = ClusterConfig().scaled_cpu(2.0, 1.5)
+        assert config.costs.cpu_speed == 2.0
+        assert config.node_cache_bytes == int(ClusterConfig().node_cache_bytes * 1.5)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(_trace(10), ClusterConfig(num_nodes=0))
+
+    def test_overrides_via_run_simulation(self):
+        trace = _trace(500)
+        result = run_simulation(trace, policy="lard", num_nodes=2,
+                                node_cache_bytes=CACHE, t_low=5, t_high=15)
+        assert result.num_requests == 500

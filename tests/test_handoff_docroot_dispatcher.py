@@ -1,0 +1,121 @@
+"""Unit tests for the document store and the thread-safe dispatcher."""
+
+import threading
+
+import pytest
+
+from repro.core import make_policy
+from repro.handoff import Dispatcher, DocumentStore
+from repro.workload import Trace
+
+
+class TestDocumentStore:
+    def test_build_and_read(self, tmp_path):
+        store = DocumentStore.build(tmp_path, {"/a": 100, "/b": 0})
+        assert len(store) == 2
+        assert store.size_of("/a") == 100
+        assert len(store.read("/a")) == 100
+        assert store.read("/b") == b""
+
+    def test_content_deterministic_and_distinct(self, tmp_path):
+        store = DocumentStore.build(tmp_path, {"/a": 64, "/b": 64})
+        assert store.read("/a") == store.expected_content("/a")
+        assert store.read("/a") != store.read("/b")
+
+    def test_unknown_document(self, tmp_path):
+        store = DocumentStore.build(tmp_path, {"/a": 10})
+        assert store.size_of("/missing") is None
+        with pytest.raises(KeyError):
+            store.read("/missing")
+
+    def test_name_must_be_url_path(self, tmp_path):
+        store = DocumentStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.add("no-slash", 10)
+        with pytest.raises(ValueError):
+            store.add("/x", -1)
+
+    def test_from_trace(self, tmp_path):
+        trace = Trace([0, 1, 0, 2], [100, 200, 300], name="t")
+        store, urls = DocumentStore.from_trace(tmp_path, trace)
+        assert len(store) == 3
+        assert urls == ["/t0", "/t1", "/t0", "/t2"]
+        assert store.size_of("/t0") == 100
+
+    def test_from_trace_max_documents_keeps_hottest(self, tmp_path):
+        trace = Trace([0, 0, 0, 1, 2], [10, 20, 30], name="t")
+        store, urls = DocumentStore.from_trace(tmp_path, trace, max_documents=1)
+        assert store.names == ["/t0"]
+        assert urls == ["/t0", "/t0", "/t0"]
+
+    def test_from_trace_size_cap(self, tmp_path):
+        trace = Trace([0], [10**6], name="t")
+        store, _ = DocumentStore.from_trace(tmp_path, trace, max_file_bytes=1000)
+        assert store.size_of("/t0") == 1000
+
+    def test_total_bytes(self, tmp_path):
+        store = DocumentStore.build(tmp_path, {"/a": 10, "/b": 20})
+        assert store.total_bytes == 30
+
+
+class TestDispatcher:
+    def _dispatcher(self, n=2, limit=None):
+        return Dispatcher(make_policy("lard/r", n, t_low=2, t_high=5), max_in_flight=limit)
+
+    def test_admit_and_complete(self):
+        dispatcher = self._dispatcher()
+        node = dispatcher.admit("/a")
+        assert dispatcher.loads[node] == 1
+        assert dispatcher.in_flight == 1
+        dispatcher.complete(node, "/a")
+        assert dispatcher.in_flight == 0
+        assert dispatcher.loads == [0, 0]
+
+    def test_admission_limit_blocks(self):
+        dispatcher = self._dispatcher(limit=1)
+        node = dispatcher.admit("/a")
+        assert dispatcher.admit("/b", timeout=0.05) is None
+        dispatcher.complete(node, "/a")
+        assert dispatcher.admit("/b", timeout=0.5) is not None
+
+    def test_default_limit_is_paper_s(self):
+        dispatcher = self._dispatcher(n=3)
+        assert dispatcher.max_in_flight == 2 * 5 + 2 - 1
+
+    def test_reroute_moves_load(self):
+        dispatcher = self._dispatcher(n=2)
+        node = dispatcher.admit("/a")
+        other = 1 - node
+        # Overload the current node so the policy reroutes.
+        for _ in range(6):
+            dispatcher.policy.on_dispatch(node)
+        new = dispatcher.reroute(node, "/b")
+        if new != node:
+            assert dispatcher.transfers == 1
+        total_before = 7  # 1 admitted + 6 manual
+        assert sum(dispatcher.loads) == total_before
+
+    def test_thread_safety_accounting(self):
+        dispatcher = self._dispatcher(n=4, limit=1000)
+        errors = []
+
+        def hammer():
+            try:
+                for i in range(200):
+                    node = dispatcher.admit(f"/t{i % 10}")
+                    dispatcher.complete(node, f"/t{i % 10}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert dispatcher.in_flight == 0
+        assert dispatcher.loads == [0, 0, 0, 0]
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            self._dispatcher(limit=0)

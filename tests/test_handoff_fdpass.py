@@ -1,0 +1,134 @@
+"""Tests for genuine cross-process TCP hand-off via SCM_RIGHTS."""
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.handoff import DocumentStore
+from repro.handoff.fdpass import FDHandoffSender, run_fd_backend
+from repro.handoff.http import parse_request_head
+from repro.handoff.protocol import (
+    MSG_HANDOFF,
+    ProtocolError,
+    recv_handoff,
+    send_handoff,
+)
+
+
+@pytest.fixture
+def backend_process(tmp_path):
+    """A running FD-pass back-end process + connected sender."""
+    store = DocumentStore.build(tmp_path / "docs", {"/x": 2048, "/y": 100})
+    channel = str(tmp_path / "handoff.sock")
+    proc = multiprocessing.Process(
+        target=run_fd_backend,
+        args=(channel, str(tmp_path / "docs"), dict(store._catalog.items())),
+        daemon=True,
+    )
+    proc.start()
+    deadline = time.time() + 10
+    while not os.path.exists(channel) and time.time() < deadline:
+        time.sleep(0.02)
+    time.sleep(0.1)
+    sender = FDHandoffSender(channel)
+    yield store, sender
+    sender.shutdown_backend()
+    sender.close()
+    proc.join(timeout=5)
+    if proc.is_alive():  # pragma: no cover
+        proc.terminate()
+
+
+def _front_end_once(sender):
+    """Minimal front-end: accept one connection, read head, hand off FD."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+
+    def accept_and_handoff():
+        conn, _ = listener.accept()
+        data = b""
+        while parse_request_head(data) is None:
+            data += conn.recv(65536)
+        sender.handoff(conn, data)
+        listener.close()
+
+    thread = threading.Thread(target=accept_and_handoff, daemon=True)
+    thread.start()
+    return listener.getsockname()
+
+
+def _get(address, path):
+    client = socket.create_connection(address, timeout=10)
+    client.sendall(f"GET {path} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".encode())
+    data = b""
+    while True:
+        chunk = client.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    client.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    return head, body
+
+
+def test_backend_process_serves_adopted_connection(backend_process):
+    store, sender = backend_process
+    address = _front_end_once(sender)
+    head, body = _get(address, "/x")
+    assert b"200" in head.split(b"\r\n")[0]
+    assert b"X-Handoff: fd-pass" in head
+    assert body == store.expected_content("/x")
+
+
+def test_404_across_process_boundary(backend_process):
+    _, sender = backend_process
+    address = _front_end_once(sender)
+    head, _ = _get(address, "/missing")
+    assert b"404" in head.split(b"\r\n")[0]
+
+
+def test_multiple_sequential_handoffs(backend_process):
+    store, sender = backend_process
+    for _ in range(5):
+        address = _front_end_once(sender)
+        _, body = _get(address, "/y")
+        assert body == store.expected_content("/y")
+
+
+class TestProtocol:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        r, w = socket.socketpair()  # an fd worth sending
+        try:
+            send_handoff(a, r.fileno(), b"GET / HTTP/1.0\r\n\r\n")
+            message = recv_handoff(b)
+            assert message.msg_type == MSG_HANDOFF
+            assert message.payload == b"GET / HTTP/1.0\r\n\r\n"
+            assert message.fd is not None
+            adopted = socket.socket(fileno=message.fd)
+            w.sendall(b"ping")
+            assert adopted.recv(4) == b"ping"
+            adopted.close()
+        finally:
+            for s in (a, b, w):
+                s.close()
+            try:
+                r.close()
+            except OSError:
+                pass
+
+    def test_oversized_payload_rejected(self):
+        a, _b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        with pytest.raises(ProtocolError):
+            send_handoff(a, 0, b"x" * (2**20 + 1))
+
+    def test_closed_channel_returns_none(self):
+        a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        a.close()
+        assert recv_handoff(b) is None
+        b.close()

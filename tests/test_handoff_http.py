@@ -1,0 +1,99 @@
+"""Unit tests for HTTP parsing/serialization."""
+
+import pytest
+
+from repro.handoff import HTTPError, build_response, parse_request_head
+
+
+class TestParse:
+    def test_simple_get(self):
+        req = parse_request_head(b"GET /index.html HTTP/1.0\r\n\r\n")
+        assert req.method == "GET"
+        assert req.target == "/index.html"
+        assert req.version == "HTTP/1.0"
+        assert req.head_bytes == len(b"GET /index.html HTTP/1.0\r\n\r\n")
+
+    def test_incomplete_returns_none(self):
+        assert parse_request_head(b"GET /index.html HTT") is None
+        assert parse_request_head(b"GET / HTTP/1.1\r\nHost: x\r\n") is None
+
+    def test_headers_lowercased(self):
+        req = parse_request_head(b"GET / HTTP/1.1\r\nHost: example\r\nX-Y: z\r\n\r\n")
+        assert req.headers["host"] == "example"
+        assert req.headers["x-y"] == "z"
+
+    def test_query_string_kept_in_target(self):
+        req = parse_request_head(b"GET /cgi?a=1&b=2 HTTP/1.0\r\n\r\n")
+        assert req.target == "/cgi?a=1&b=2"
+
+    def test_trailing_bytes_not_consumed(self):
+        data = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+        req = parse_request_head(data)
+        assert req.target == "/a"
+        second = parse_request_head(data[req.head_bytes:])
+        assert second.target == "/b"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HTTPError) as exc:
+            parse_request_head(b"NOT-HTTP\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(HTTPError) as exc:
+            parse_request_head(b"GET / HTTP/2.0\r\n\r\n")
+        assert exc.value.status == 505
+
+    def test_oversized_head(self):
+        with pytest.raises(HTTPError) as exc:
+            parse_request_head(b"GET /" + b"x" * 20000)
+        assert exc.value.status == 431
+
+    def test_malformed_header_line(self):
+        with pytest.raises(HTTPError):
+            parse_request_head(b"GET / HTTP/1.0\r\nbadheader\r\n\r\n")
+
+    def test_method_uppercased(self):
+        req = parse_request_head(b"get / HTTP/1.1\r\n\r\n")
+        assert req.method == "GET"
+
+
+class TestKeepAlive:
+    def test_http11_default_keep_alive(self):
+        req = parse_request_head(b"GET / HTTP/1.1\r\n\r\n")
+        assert req.keep_alive is True
+
+    def test_http11_explicit_close(self):
+        req = parse_request_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert req.keep_alive is False
+
+    def test_http10_default_close(self):
+        req = parse_request_head(b"GET / HTTP/1.0\r\n\r\n")
+        assert req.keep_alive is False
+
+    def test_http10_explicit_keep_alive(self):
+        req = parse_request_head(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+        assert req.keep_alive is True
+
+
+class TestBuildResponse:
+    def test_roundtrip_content_length(self):
+        payload = build_response(200, b"hello")
+        head, _, body = payload.partition(b"\r\n\r\n")
+        assert body == b"hello"
+        assert b"Content-Length: 5" in head
+        assert head.startswith(b"HTTP/1.1 200 OK")
+
+    def test_connection_header(self):
+        assert b"Connection: keep-alive" in build_response(200, b"", keep_alive=True)
+        assert b"Connection: close" in build_response(200, b"")
+
+    def test_extra_headers(self):
+        payload = build_response(200, b"", extra_headers={"X-Backend": "3"})
+        assert b"X-Backend: 3" in payload
+
+    def test_status_reasons(self):
+        assert b"404 Not Found" in build_response(404)
+        assert b"501 Not Implemented" in build_response(501)
+
+    def test_version_echoed(self):
+        assert build_response(200, version="HTTP/1.0").startswith(b"HTTP/1.0")

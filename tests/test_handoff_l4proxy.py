@@ -1,0 +1,115 @@
+"""Tests for the Layer-4 proxy comparator deployment."""
+
+import socket
+
+import pytest
+
+from repro.handoff import (
+    DocumentStore,
+    HandoffCluster,
+    L4ProxyCluster,
+    LoadGenerator,
+    fetch_one,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("l4-docs")
+    return DocumentStore.build(root, {f"/d{i}": 1024 + i for i in range(20)})
+
+
+def test_roundtrip_through_proxy(store):
+    with L4ProxyCluster(store, num_backends=2, miss_penalty_s=0.0) as cluster:
+        status, body = fetch_one(cluster.address, "/d3")
+        assert status == 200
+        assert body == store.expected_content("/d3")
+
+
+def test_response_bytes_flow_through_front_end(store):
+    """The defining L4 cost: the relay touches every response byte."""
+    with L4ProxyCluster(store, num_backends=2, miss_penalty_s=0.0) as cluster:
+        result = LoadGenerator(
+            cluster.address, ["/d0"], concurrency=2, verify=cluster.verify
+        ).run(20)
+        assert result.errors == 0
+        cluster.wait_idle()
+        stats = cluster.stats()
+        assert stats.proxy.bytes_to_client >= result.bytes_received
+        assert stats.proxy.bytes_to_backend > 0
+
+
+def test_handoff_front_end_bypassed_for_responses(store):
+    """Contrast: the hand-off front-end has no response-byte counter at
+    all — the back-end writes directly to the client socket."""
+    with HandoffCluster(store, num_backends=2, policy="wrr", miss_penalty_s=0.0) as cluster:
+        result = LoadGenerator(
+            cluster.address, ["/d0"], concurrency=2, verify=cluster.verify
+        ).run(20)
+        assert result.errors == 0
+        # The FrontEndStats surface has no relay counters by design.
+        assert not hasattr(cluster.stats().frontend, "bytes_to_client")
+
+
+def test_proxy_spreads_load_wrr(store):
+    with L4ProxyCluster(store, num_backends=3, miss_penalty_s=0.0) as cluster:
+        LoadGenerator(cluster.address, ["/d1"], concurrency=2).run(60)
+        cluster.wait_idle()
+        stats = cluster.stats()
+        assert all(b.requests_served > 0 for b in stats.backends)
+
+
+def test_proxy_content_oblivious(store):
+    """Same URL lands on different back-ends — no locality possible."""
+    with L4ProxyCluster(store, num_backends=3, miss_penalty_s=0.0) as cluster:
+        LoadGenerator(cluster.address, ["/d2"], concurrency=1).run(30)
+        cluster.wait_idle()
+        served = [b.requests_served for b in cluster.stats().backends]
+        assert sum(1 for s in served if s > 0) >= 2
+
+
+def test_proxy_accounting_balances(store):
+    with L4ProxyCluster(store, num_backends=2, miss_penalty_s=0.0) as cluster:
+        result = LoadGenerator(cluster.address, ["/d0", "/d1"], concurrency=4).run(80)
+        assert result.errors == 0
+        assert cluster.wait_idle()
+        stats = cluster.stats()
+        assert stats.loads == [0, 0]
+        assert stats.proxy.proxied == 80
+        assert stats.requests_served == 80
+
+
+def test_verified_content_under_concurrency(store):
+    urls = [f"/d{i}" for i in range(20)]
+    with L4ProxyCluster(store, num_backends=3, miss_penalty_s=0.001) as cluster:
+        result = LoadGenerator(
+            cluster.address, urls, concurrency=8, verify=cluster.verify
+        ).run(200)
+        assert result.requests == 200
+        assert result.errors == 0
+
+
+def test_backend_listen_mode_direct(store):
+    """A listening back-end is a plain HTTP server on its own."""
+    from repro.handoff.backend import BackendServer
+
+    backend = BackendServer(0, store, cache_bytes=2**20, miss_penalty_s=0.0)
+    backend.start()
+    try:
+        address = backend.listen()
+        status, body = fetch_one(address, "/d5")
+        assert status == 200
+        assert body == store.expected_content("/d5")
+        with pytest.raises(RuntimeError):
+            backend.listen()
+    finally:
+        backend.stop()
+
+
+def test_lifecycle(store):
+    cluster = L4ProxyCluster(store, num_backends=2)
+    cluster.start()
+    with pytest.raises(RuntimeError):
+        cluster.start()
+    cluster.stop()
+    cluster.stop()  # idempotent

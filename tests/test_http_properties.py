@@ -1,0 +1,104 @@
+"""Property-based tests for HTTP parsing and the hand-off wire format."""
+
+import socket
+import string
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.handoff.http import HTTPError, build_response, parse_request_head
+from repro.handoff.protocol import recv_handoff, send_handoff
+
+_token = st.text(alphabet=string.ascii_letters + string.digits + "-_", min_size=1, max_size=16)
+_path_segment = st.text(alphabet=string.ascii_letters + string.digits + "._-", min_size=1, max_size=12)
+
+
+@st.composite
+def _requests(draw):
+    segments = draw(st.lists(_path_segment, min_size=1, max_size=4))
+    query = draw(st.one_of(st.none(), _token))
+    target = "/" + "/".join(segments) + (f"?q={query}" if query else "")
+    version = draw(st.sampled_from(["HTTP/1.0", "HTTP/1.1"]))
+    headers = draw(
+        st.dictionaries(_token, _token, min_size=0, max_size=5)
+    )
+    headers.setdefault("Host", "cluster")
+    return target, version, headers
+
+
+@given(_requests())
+@settings(max_examples=80, deadline=None)
+def test_request_head_roundtrip(request):
+    """Any request we can serialize parses back to the same target."""
+    target, version, headers = request
+    head = f"GET {target} {version}\r\n"
+    head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+    head += "\r\n"
+    data = head.encode("latin-1")
+    parsed = parse_request_head(data)
+    assert parsed is not None
+    assert parsed.method == "GET"
+    assert parsed.target == target
+    assert parsed.version == version
+    assert parsed.head_bytes == len(data)
+    for name, value in headers.items():
+        assert parsed.headers[name.lower()] == value
+
+
+@given(_requests(), st.binary(max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_parse_never_consumes_trailing_bytes(request, trailing):
+    target, version, headers = request
+    head = f"GET {target} {version}\r\n\r\n".encode("latin-1")
+    parsed = parse_request_head(head + trailing)
+    assert parsed is not None
+    assert parsed.head_bytes == len(head)
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_parser_total_on_arbitrary_bytes(data):
+    """The parser never crashes: it returns a request, None, or HTTPError."""
+    try:
+        result = parse_request_head(data)
+    except HTTPError:
+        return
+    assert result is None or result.method
+
+
+@given(
+    st.integers(0, 1 << 16),
+    st.sampled_from([200, 404, 501]),
+    st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_response_framing_consistent(body_size, status, keep_alive):
+    body = bytes(body_size % 4096)
+    payload = build_response(status, body, keep_alive=keep_alive)
+    head, _, rest = payload.partition(b"\r\n\r\n")
+    assert rest == body
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert str(status).encode() in head.split(b"\r\n")[0]
+
+
+@given(st.binary(min_size=0, max_size=4096))
+@settings(max_examples=30, deadline=None)
+def test_handoff_wire_roundtrip(payload):
+    """Arbitrary consumed-bytes payloads survive the hand-off channel."""
+    a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    r, w = socket.socketpair()
+    try:
+        send_handoff(a, r.fileno(), payload)
+        message = recv_handoff(b)
+        assert message is not None
+        assert message.payload == payload
+        assert message.fd is not None
+        import os
+
+        os.close(message.fd)
+    finally:
+        for s in (a, b, r, w):
+            try:
+                s.close()
+            except OSError:
+                pass

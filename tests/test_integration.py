@@ -1,0 +1,103 @@
+"""Cross-module integration tests: the paper's headline claims at test scale."""
+
+import pytest
+
+from repro.cluster import run_simulation
+from repro.core import LARD, PolicyError
+from repro.workload import inject_hot_targets, rice_like_trace, synthesize_trace
+
+CACHE = 2 * 2**20  # 2 MB node caches against a ~35 MB working set
+TRACE = synthesize_trace(
+    num_requests=25_000,
+    num_targets=2_000,
+    total_bytes=35 * 2**20,
+    zipf_alpha=0.9,
+    size_popularity_correlation=-0.5,
+    burst_fraction=0.2,
+    burst_focus=6,
+    burst_window=6_000,
+    seed=5,
+    name="integration",
+)
+
+
+def _run(policy, n, **kw):
+    return run_simulation(TRACE, policy=policy, num_nodes=n, node_cache_bytes=CACHE, **kw)
+
+
+class TestHeadlineClaims:
+    """Shape claims from the abstract, verified end to end at small scale."""
+
+    def test_lard_r_beats_wrr_substantially(self):
+        wrr = _run("wrr", 6)
+        lardr = _run("lard/r", 6)
+        assert lardr.throughput_rps > 1.5 * wrr.throughput_rps
+
+    def test_lard_combines_locality_and_balance(self):
+        """LARD approaches LB/GC's hit ratio and WRR's load balance."""
+        wrr = _run("wrr", 6)
+        lb = _run("lb", 6)
+        lard = _run("lard", 6)
+        # Locality: miss ratio way below WRR.
+        assert lard.cache_miss_ratio < 0.6 * wrr.cache_miss_ratio
+        # Balance: idle time well below LB's.
+        assert lard.idle_fraction < lb.idle_fraction + 0.05
+
+    def test_effective_cache_grows_with_cluster(self):
+        misses = [_run("lard/r", n).cache_miss_ratio for n in (1, 3, 6)]
+        assert misses[1] < misses[0]
+        assert misses[2] < misses[1]
+
+    def test_wrr_effective_cache_stays_flat(self):
+        misses = [_run("wrr", n).cache_miss_ratio for n in (1, 6)]
+        assert misses[1] > misses[0] - 0.03
+
+    def test_lard_delay_below_wrr(self):
+        assert _run("lard/r", 6).mean_delay_s < _run("wrr", 6).mean_delay_s
+
+
+class TestReplicationClaim:
+    def test_hot_targets_favor_lard_r(self):
+        hot = inject_hot_targets(
+            TRACE, num_hot=3, hot_fraction=0.12, hot_size_bytes=120 * 1024, seed=1
+        )
+        lard = run_simulation(hot, policy="lard", num_nodes=6, node_cache_bytes=CACHE)
+        lardr = run_simulation(hot, policy="lard/r", num_nodes=6, node_cache_bytes=CACHE)
+        assert lardr.throughput_rps >= lard.throughput_rps * 0.98
+
+
+class TestFailureRecovery:
+    """Section 2.6: the front-end recovers by re-assigning as if new."""
+
+    def test_lard_serves_through_failure(self):
+        policy = LARD(4, t_low=3, t_high=9)
+        targets = [f"t{i}" for i in range(40)]
+        for target in targets:
+            node = policy.choose(target, 1)
+            policy.on_dispatch(node)
+        policy.on_node_failure(2)
+        for target in targets:
+            node = policy.choose(target, 1)
+            assert node != 2
+        policy.on_node_join(2)
+        seen = set()
+        for target in (f"new{i}" for i in range(60)):
+            seen.add(policy.choose(target, 1))
+        assert 2 in seen  # rejoined node takes traffic again
+
+
+class TestSeedSensitivity:
+    def test_conclusion_stable_across_seeds(self):
+        """The LARD>WRR ordering is not an artifact of one RNG stream."""
+        for seed in (11, 23):
+            trace = synthesize_trace(
+                num_requests=15_000,
+                num_targets=1_500,
+                total_bytes=25 * 2**20,
+                zipf_alpha=0.9,
+                size_popularity_correlation=-0.5,
+                seed=seed,
+            )
+            wrr = run_simulation(trace, policy="wrr", num_nodes=4, node_cache_bytes=CACHE)
+            lardr = run_simulation(trace, policy="lard/r", num_nodes=4, node_cache_bytes=CACHE)
+            assert lardr.throughput_rps > wrr.throughput_rps, seed

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cache import GDSCache, LFUCache, LRUCache
+from repro.core import LARD, LARDReplication, WeightedRoundRobin, admission_limit
+from repro.workload import Trace, cumulative_distributions, coverage_bytes
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 400)),  # (target, size)
+    min_size=1,
+    max_size=300,
+)
+
+
+def _check_cache_invariants(cache, ops):
+    sizes = {}
+    for target, size in ops:
+        size = sizes.setdefault(target, size)  # fixed size per target
+        hit = cache.access(target, size)
+        # Invariant: capacity never exceeded.
+        assert cache.used_bytes <= cache.capacity_bytes
+        # Invariant: a hit requires presence; presence after access implies
+        # the recorded size is the inserted one.
+        if hit:
+            assert cache.size_of(target) == size
+        # Invariant: bookkeeping consistent.
+        assert cache.used_bytes == sum(cache.size_of(t) for t in cache)
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(ops)
+    assert stats.insertions <= stats.misses
+    assert stats.evictions >= 0
+
+
+@given(_ops)
+@settings(max_examples=60, deadline=None)
+def test_lru_invariants(ops):
+    _check_cache_invariants(LRUCache(1000), ops)
+
+
+@given(_ops)
+@settings(max_examples=60, deadline=None)
+def test_gds_invariants(ops):
+    _check_cache_invariants(GDSCache(1000), ops)
+
+
+@given(_ops)
+@settings(max_examples=60, deadline=None)
+def test_lfu_invariants(ops):
+    _check_cache_invariants(LFUCache(1000), ops)
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_lru_matches_reference_model(ops):
+    """LRU against a simple executable specification."""
+    cache = LRUCache(500)
+    model = {}  # target -> size, python dict preserves insertion order
+    for target, size in ops:
+        if target in model:
+            size = model[target]
+        if target in model:
+            hit = cache.access(target, size)
+            assert hit is True
+            model.pop(target)
+            model[target] = size  # move to end
+        else:
+            hit = cache.access(target, size)
+            assert hit is False
+            if size <= 500:
+                while sum(model.values()) + size > 500:
+                    model.pop(next(iter(model)))
+                model[target] = size
+        assert set(cache) == set(model)
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_gds_inflation_monotone(ops):
+    cache = GDSCache(500)
+    last = 0.0
+    for target, size in ops:
+        cache.access(target, size)
+        assert cache.inflation >= last
+        last = cache.inflation
+
+
+# ---------------------------------------------------------------------------
+# Policy invariants
+# ---------------------------------------------------------------------------
+
+_policy_factories = [
+    lambda n: WeightedRoundRobin(n, t_low=3, t_high=9),
+    lambda n: LARD(n, t_low=3, t_high=9),
+    lambda n: LARDReplication(n, t_low=3, t_high=9, k_seconds=5.0),
+]
+
+_events = st.lists(
+    st.tuples(st.integers(0, 20), st.booleans()),  # (target, complete_oldest?)
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(st.integers(2, 8), _events, st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_policy_load_conservation(num_nodes, events, factory_index):
+    """Dispatch/complete bookkeeping always balances; chosen nodes exist."""
+    policy = _policy_factories[factory_index](num_nodes)
+    outstanding = []
+    now = 0.0
+    for target, complete_first in events:
+        now += 0.1
+        if complete_first and outstanding:
+            node, tgt = outstanding.pop(0)
+            policy.on_complete(node, tgt)
+        node = policy.choose(target, 1, now=now)
+        assert 0 <= node < num_nodes
+        assert policy.is_alive(node)
+        policy.on_dispatch(node, target)
+        outstanding.append((node, target))
+        assert policy.total_load == len(outstanding)
+        assert all(load >= 0 for load in policy.loads)
+    for node, tgt in outstanding:
+        policy.on_complete(node, tgt)
+    assert policy.total_load == 0
+
+
+@given(st.integers(1, 64), st.integers(1, 50), st.integers(2, 100))
+@settings(max_examples=100, deadline=None)
+def test_admission_limit_properties(n, t_low, spread):
+    t_high = t_low + spread
+    s = admission_limit(n, t_low, t_high)
+    # Never lets every node saturate at T_high simultaneously...
+    assert s < n * t_high
+    # ...but admits enough that all nodes can exceed T_low (for n >= 2).
+    if n >= 2:
+        assert s >= n * t_low
+
+
+@given(_events)
+@settings(max_examples=40, deadline=None)
+def test_lard_mapping_consistency(events):
+    """Every mapped target points at an alive node; stickiness holds while
+    the node stays under T_high."""
+    policy = LARD(4, t_low=3, t_high=9)
+    for target, _ in events:
+        node = policy.choose(target, 1, now=0.0)
+        mapped = policy.assigned_node(target)
+        assert mapped == node
+        assert policy.is_alive(mapped)
+        # No dispatches at all: loads stay zero, so no migrations ever.
+    assert policy.reassignments == 0
+
+
+@given(_events, st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_lardr_server_sets_subset_of_alive(events, num_nodes):
+    policy = LARDReplication(num_nodes, t_low=3, t_high=9, k_seconds=5.0)
+    now = 0.0
+    for target, heavy in events:
+        now += 0.5
+        node = policy.choose(target, 1, now=now)
+        if heavy:
+            policy.on_dispatch(node, target)
+        replicas = policy.server_set(target)
+        assert node in replicas or not replicas
+        assert all(policy.is_alive(r) for r in replicas)
+
+
+# ---------------------------------------------------------------------------
+# Workload invariants
+# ---------------------------------------------------------------------------
+
+_token_lists = st.lists(st.integers(0, 19), min_size=1, max_size=300)
+
+
+@given(_token_lists)
+@settings(max_examples=60, deadline=None)
+def test_cdf_invariants(tokens):
+    trace = Trace(tokens, [(i + 1) * 7 for i in range(20)])
+    cdf = cumulative_distributions(trace)
+    assert cdf.cumulative_requests[-1] == 1.0
+    assert (cdf.cumulative_requests[1:] >= cdf.cumulative_requests[:-1] - 1e-12).all()
+    assert (cdf.cumulative_requests >= 0).all()
+    assert cdf.file_rank[-1] == 1.0
+
+
+@given(_token_lists, st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_coverage_bounded_by_working_set(tokens, fraction):
+    trace = Trace(tokens, [(i + 1) * 7 for i in range(20)])
+    requested = set(tokens)
+    working_set = sum((t + 1) * 7 for t in requested)
+    assert 0 < coverage_bytes(trace, fraction) <= working_set

@@ -1,0 +1,199 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Delay, Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_in_time_order():
+    eng = Engine()
+    log = []
+    eng.schedule(2.0, lambda: log.append(("b", eng.now)))
+    eng.schedule(1.0, lambda: log.append(("a", eng.now)))
+    eng.schedule(3.0, lambda: log.append(("c", eng.now)))
+    eng.run()
+    assert log == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    log = []
+    for name in "abc":
+        eng.schedule(1.0, lambda n=name: log.append(n))
+    eng.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_schedule_with_args():
+    eng = Engine()
+    log = []
+    eng.schedule(1.0, log.append, "x")
+    eng.run()
+    assert log == ["x"]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    eng = Engine()
+    log = []
+    eng.schedule(5.0, lambda: log.append("late"))
+    end = eng.run(until=2.0)
+    assert end == 2.0
+    assert eng.now == 2.0
+    assert log == []
+    assert eng.pending == 1
+    eng.run()
+    assert log == ["late"]
+
+
+def test_run_until_beyond_last_event_advances_clock():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    end = eng.run(until=10.0)
+    assert end == 10.0
+
+
+def test_stop_halts_dispatch():
+    eng = Engine()
+    log = []
+    eng.schedule(1.0, lambda: (log.append("first"), eng.stop()))
+    eng.schedule(2.0, lambda: log.append("second"))
+    eng.run()
+    assert log == ["first"]
+    assert eng.pending == 1
+
+
+def test_events_dispatched_counter():
+    eng = Engine()
+    for _ in range(5):
+        eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.events_dispatched == 5
+
+
+def test_events_scheduled_during_run_are_dispatched():
+    eng = Engine()
+    log = []
+
+    def first():
+        eng.schedule(1.0, lambda: log.append(eng.now))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert log == [2.0]
+
+
+class TestProcess:
+    def test_simple_delay_process(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield Delay(1.5)
+            log.append(eng.now)
+            yield Delay(0.5)
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [1.5, 2.0]
+
+    def test_process_return_value_captured(self):
+        eng = Engine()
+
+        def proc():
+            yield Delay(1.0)
+            return 42
+
+        handle = eng.process(proc())
+        eng.run()
+        assert handle.finished
+        assert handle.value == 42
+
+    def test_zero_delay_is_legal(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield Delay(0.0)
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [0.0]
+
+    def test_negative_delay_in_process_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-1.0)
+
+    def test_unknown_yield_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield "not a command"
+
+        eng.process(proc())
+        with pytest.raises(SimulationError, match="unknown"):
+            eng.run()
+
+    def test_two_processes_interleave(self):
+        eng = Engine()
+        log = []
+
+        def proc(name, step):
+            for _ in range(3):
+                yield Delay(step)
+                log.append((name, eng.now))
+
+        eng.process(proc("fast", 1.0))
+        eng.process(proc("slow", 2.0))
+        eng.run()
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),  # slow's wakeup was queued earlier -> dispatched first
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+    def test_process_not_started_synchronously(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            log.append("started")
+            yield Delay(1.0)
+
+        eng.process(proc())
+        assert log == []  # starts via the event queue, not at creation
+        eng.run()
+        assert log == ["started"]
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        log = []
+
+        def proc(n):
+            yield Delay(n * 0.1)
+            log.append(n)
+            yield Delay(1.0)
+            log.append(n * 10)
+
+        for n in range(5):
+            eng.process(proc(n))
+        eng.run()
+        return log
+
+    assert build() == build()

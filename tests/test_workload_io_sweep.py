@@ -1,0 +1,135 @@
+"""Tests for trace persistence and the generic sweep utility."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis import result_row, sweep, write_csv
+from repro.workload import (
+    Trace,
+    TraceError,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = synthesize_trace(500, 50, 10**6, 1.0, seed=2, name="round-trip")
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.targets, trace.targets)
+        assert np.array_equal(loaded.sizes_by_target, trace.sizes_by_target)
+        assert loaded.name == "round-trip"
+
+    def test_extension_appended(self, tmp_path):
+        trace = Trace([0], [10], name="x")
+        path = save_trace(trace, tmp_path / "plain")
+        assert path.suffix == ".npz"
+        assert load_trace(path).name == "x"
+
+    def test_compression_effective(self, tmp_path):
+        trace = synthesize_trace(50_000, 100, 10**6, 1.0, seed=1)
+        path = save_trace(trace, tmp_path / "big.npz")
+        raw_bytes = trace.targets.nbytes + trace.sizes_by_target.nbytes
+        assert path.stat().st_size < raw_bytes / 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(TraceError, match="not a trace archive"):
+            load_trace(path)
+
+    def test_corrupted_content_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            version=np.int64(1),
+            targets=np.array([5]),  # token out of catalog range
+            sizes_by_target=np.array([10]),
+            name=np.bytes_(b"bad"),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "v9.npz"
+        np.savez(
+            path,
+            version=np.int64(9),
+            targets=np.array([0]),
+            sizes_by_target=np.array([10]),
+            name=np.bytes_(b"v9"),
+        )
+        with pytest.raises(TraceError, match="version"):
+            load_trace(path)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthesize_trace(2000, 200, 4 * 10**6, 1.0, seed=3)
+
+
+class TestSweep:
+    def test_cross_product_size(self, small_trace):
+        rows = sweep(
+            small_trace,
+            policy=["wrr", "lard"],
+            num_nodes=[1, 2],
+            node_cache_bytes=256 * 1024,
+        )
+        assert len(rows) == 4
+        combos = {(r["policy"], r["num_nodes"]) for r in rows}
+        assert combos == {("wrr", 1), ("wrr", 2), ("lard", 1), ("lard", 2)}
+
+    def test_rows_carry_metrics(self, small_trace):
+        rows = sweep(small_trace, policy="wrr", num_nodes=2, node_cache_bytes=256 * 1024)
+        row = rows[0]
+        assert row["throughput_rps"] > 0
+        assert 0 <= row["cache_miss_ratio"] <= 1
+        assert row["num_requests"] == 2000
+
+    def test_scalar_vs_list_equivalent(self, small_trace):
+        a = sweep(small_trace, policy="wrr", num_nodes=2, node_cache_bytes=256 * 1024)
+        b = sweep(small_trace, policy=["wrr"], num_nodes=[2], node_cache_bytes=256 * 1024)
+        assert a[0]["throughput_rps"] == b[0]["throughput_rps"]
+
+    def test_empty_sweep_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            sweep(small_trace)
+
+    def test_result_row_merges_parameters(self, small_trace):
+        from repro.cluster import run_simulation
+
+        result = run_simulation(
+            small_trace, policy="wrr", num_nodes=2, node_cache_bytes=256 * 1024
+        )
+        row = result_row(result, {"custom": 7})
+        assert row["custom"] == 7
+        assert row["policy"] == "wrr"
+
+
+class TestWriteCsv:
+    def test_csv_written_and_parseable(self, small_trace, tmp_path):
+        rows = sweep(
+            small_trace,
+            policy=["wrr", "lard"],
+            num_nodes=2,
+            node_cache_bytes=256 * 1024,
+        )
+        path = write_csv(rows, tmp_path / "out.csv")
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 2
+        assert {r["policy"] for r in parsed} == {"wrr", "lard"}
+        assert float(parsed[0]["throughput_rps"]) > 0
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")

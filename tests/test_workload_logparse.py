@@ -1,0 +1,114 @@
+"""Unit tests for Common Log Format parsing."""
+
+import io
+
+import pytest
+
+from repro.workload import parse_common_log, tokenize_entries
+
+LINE = '10.0.0.1 - - [06/Jul/2026:10:00:00 +0000] "GET /index.html HTTP/1.0" 200 1024'
+
+
+def test_single_line():
+    trace, stats = parse_common_log(LINE)
+    assert len(trace) == 1
+    assert trace.sizes_by_target[0] == 1024
+    assert stats.parsed == 1
+
+
+def test_repeat_url_same_token():
+    log = "\n".join([LINE, LINE])
+    trace, _ = parse_common_log(log)
+    assert len(trace) == 2
+    assert trace.num_targets == 1
+    assert trace.targets.tolist() == [0, 0]
+
+
+def test_query_string_distinguishes_targets():
+    log = "\n".join(
+        [
+            '1.1.1.1 - - [x] "GET /cgi?a=1 HTTP/1.0" 200 10',
+            '1.1.1.1 - - [x] "GET /cgi?a=2 HTTP/1.0" 200 10',
+        ]
+    )
+    trace, _ = parse_common_log(log)
+    assert trace.num_targets == 2
+
+
+def test_304_uses_known_size():
+    log = "\n".join(
+        [
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 200 5000',
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 304 -',
+        ]
+    )
+    trace, stats = parse_common_log(log)
+    assert stats.parsed == 2
+    assert trace.sizes_by_target[0] == 5000
+    assert len(trace) == 2
+
+
+def test_size_grows_never_shrinks():
+    log = "\n".join(
+        [
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 200 5000',
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 200 9000',
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 200 100',
+        ]
+    )
+    trace, _ = parse_common_log(log)
+    assert trace.sizes_by_target[0] == 9000
+
+
+def test_post_filtered_out():
+    log = "\n".join([LINE, '1.1.1.1 - - [x] "POST /form HTTP/1.0" 200 10'])
+    trace, stats = parse_common_log(log)
+    assert len(trace) == 1
+    assert stats.skipped_method == 1
+
+
+def test_error_status_filtered_out():
+    log = "\n".join([LINE, '1.1.1.1 - - [x] "GET /missing HTTP/1.0" 404 0'])
+    trace, stats = parse_common_log(log)
+    assert len(trace) == 1
+    assert stats.skipped_status == 1
+
+
+def test_malformed_lines_counted_not_fatal():
+    log = "\n".join([LINE, "garbage line", '1.1.1.1 - - [x] "BROKEN" 200 5'])
+    trace, stats = parse_common_log(log)
+    assert len(trace) == 1
+    assert stats.malformed == 2
+
+
+def test_combined_format_extra_fields_ignored():
+    line = LINE + ' "http://referer" "Mozilla/5.0"'
+    trace, stats = parse_common_log(line)
+    assert stats.parsed == 1
+
+
+def test_accepts_file_object():
+    trace, _ = parse_common_log(io.StringIO(LINE + "\n"))
+    assert len(trace) == 1
+
+
+def test_blank_lines_skipped():
+    trace, stats = parse_common_log("\n\n" + LINE + "\n\n")
+    assert stats.lines == 1
+
+
+def test_empty_log_rejected():
+    with pytest.raises(ValueError):
+        parse_common_log("garbage only")
+
+
+def test_tokenize_entries_direct():
+    trace = tokenize_entries([("/a", 10), ("/b", 20), ("/a", 0)])
+    assert trace.num_targets == 2
+    assert trace.sizes_by_target.tolist() == [10, 20]
+    assert trace.targets.tolist() == [0, 1, 0]
+
+
+def test_tokenize_empty_rejected():
+    with pytest.raises(ValueError):
+        tokenize_entries([])

@@ -1,0 +1,91 @@
+"""Unit tests for trace statistics (Figures 5/6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Trace,
+    coverage_bytes,
+    cumulative_distributions,
+    locality_profile,
+    working_set_bytes,
+)
+
+
+def _hand_trace():
+    # Target 0: 3 requests, 100 B; target 1: 1 request, 200 B;
+    # target 2: never requested, 700 B.
+    return Trace([0, 0, 1, 0], [100, 200, 700])
+
+
+class TestCumulativeDistributions:
+    def test_orders_by_popularity(self):
+        cdf = cumulative_distributions(_hand_trace())
+        # Two requested files -> two points.
+        assert len(cdf.file_rank) == 2
+        assert cdf.cumulative_requests.tolist() == pytest.approx([0.75, 1.0])
+        assert cdf.cumulative_size.tolist() == pytest.approx([100 / 300, 1.0])
+
+    def test_rank_normalized_to_unit(self):
+        cdf = cumulative_distributions(_hand_trace())
+        assert cdf.file_rank[-1] == 1.0
+        assert cdf.file_rank[0] == pytest.approx(0.5)
+
+    def test_curves_end_at_one(self):
+        trace = Trace(np.random.default_rng(0).integers(0, 50, 500), [10] * 50)
+        cdf = cumulative_distributions(trace)
+        assert cdf.cumulative_requests[-1] == pytest.approx(1.0)
+        assert cdf.cumulative_size[-1] == pytest.approx(1.0)
+
+    def test_curves_monotone(self):
+        trace = Trace(np.random.default_rng(1).integers(0, 50, 500), list(range(1, 51)))
+        cdf = cumulative_distributions(trace)
+        assert np.all(np.diff(cdf.cumulative_requests) >= 0)
+        assert np.all(np.diff(cdf.cumulative_size) >= 0)
+
+    def test_requests_covered_by_rank_fraction(self):
+        cdf = cumulative_distributions(_hand_trace())
+        assert cdf.requests_covered_by_rank_fraction(0.0) == 0.0
+        assert cdf.requests_covered_by_rank_fraction(0.5) == pytest.approx(0.75)
+        assert cdf.requests_covered_by_rank_fraction(1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            cdf.requests_covered_by_rank_fraction(1.5)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_distributions(Trace([], [10]))
+
+
+class TestCoverage:
+    def test_hand_computed(self):
+        trace = _hand_trace()
+        # 75% of requests come from target 0 alone -> 100 bytes.
+        assert coverage_bytes(trace, 0.75) == 100
+        # Anything above 75% needs target 1 as well.
+        assert coverage_bytes(trace, 0.80) == 300
+        assert coverage_bytes(trace, 1.00) == 300
+
+    def test_monotone_in_fraction(self):
+        rng = np.random.default_rng(2)
+        trace = Trace(rng.integers(0, 100, 2000), rng.integers(1, 1000, 100))
+        last = 0
+        for fraction in (0.5, 0.7, 0.9, 0.99, 1.0):
+            value = coverage_bytes(trace, fraction)
+            assert value >= last
+            last = value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_bytes(_hand_trace(), 0.0)
+        with pytest.raises(ValueError):
+            coverage_bytes(_hand_trace(), 1.1)
+
+
+def test_working_set_excludes_unrequested():
+    assert working_set_bytes(_hand_trace()) == 300
+
+
+def test_locality_profile_in_mb():
+    trace = Trace([0], [2**20])
+    profile = locality_profile(trace, fractions=(0.5,))
+    assert profile[0.5] == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workload import Request, Trace, TraceError
+
+
+def _trace():
+    return Trace([0, 1, 0, 2, 0], [100, 200, 300], name="t")
+
+
+def test_len_and_iteration():
+    trace = _trace()
+    assert len(trace) == 5
+    requests = list(trace)
+    assert requests[0] == Request(0, 100)
+    assert requests[3] == Request(2, 300)
+
+
+def test_getitem():
+    trace = _trace()
+    assert trace[1] == Request(1, 200)
+    assert trace[-1] == Request(0, 100)
+
+
+def test_aggregate_stats():
+    trace = _trace()
+    assert trace.num_requests == 5
+    assert trace.num_targets == 3
+    assert trace.num_distinct_requested == 3
+    assert trace.total_bytes == 600
+    assert trace.transferred_bytes == 100 * 3 + 200 + 300
+    assert trace.mean_file_bytes == pytest.approx(200.0)
+    assert trace.mean_transfer_bytes == pytest.approx(800 / 5)
+
+
+def test_request_counts():
+    counts = _trace().request_counts()
+    assert counts.tolist() == [3, 1, 1]
+
+
+def test_counts_include_never_requested_targets():
+    trace = Trace([0], [10, 20, 30])
+    assert trace.request_counts().tolist() == [1, 0, 0]
+    assert trace.num_distinct_requested == 1
+
+
+def test_head_and_slice_share_catalog():
+    trace = _trace()
+    head = trace.head(2)
+    assert len(head) == 2
+    assert head.num_targets == 3
+    middle = trace.slice(1, 3)
+    assert [r.target for r in middle] == [1, 0]
+
+
+def test_request_sizes_vectorized():
+    assert _trace().request_sizes().tolist() == [100, 200, 100, 300, 100]
+
+
+def test_empty_request_stream_is_legal():
+    trace = Trace([], [10])
+    assert len(trace) == 0
+    assert trace.transferred_bytes == 0
+    assert trace.mean_transfer_bytes == 0.0
+
+
+def test_describe_mentions_counts():
+    text = _trace().describe()
+    assert "5 reqs" in text
+    assert "3 files" in text
+
+
+def test_token_out_of_range_rejected():
+    with pytest.raises(TraceError):
+        Trace([0, 5], [10, 20])
+    with pytest.raises(TraceError):
+        Trace([-1], [10])
+
+
+def test_negative_size_rejected():
+    with pytest.raises(TraceError):
+        Trace([0], [-5])
+
+
+def test_empty_catalog_rejected():
+    with pytest.raises(TraceError):
+        Trace([], [])
+
+
+def test_non_1d_rejected():
+    with pytest.raises(TraceError):
+        Trace(np.zeros((2, 2), dtype=int), [10])

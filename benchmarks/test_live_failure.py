@@ -1,0 +1,94 @@
+"""Bench: live failure/recovery — the ext-failure experiment on real sockets.
+
+The simulator's ``ext-failure`` extension replays the paper's Section 2.6
+claim declaratively; this bench replays it on the loopback prototype with
+the chaos harness.  Three measured phases — all nodes up, one node
+crashed mid-phase, node rejoined cold — must show the same shape the
+simulator shows: throughput dips while the cluster is short a (cold-
+refilling) node, and recovers once the victim rejoins, while every client
+request in every phase is answered.
+"""
+
+import tempfile
+
+from repro.handoff import DocumentStore, FaultInjector, HandoffCluster, LoadGenerator
+from repro.workload import synthesize_trace
+
+NUM_BACKENDS = 4
+VICTIM = 1
+CACHE_BYTES = 192 * 1024
+MISS_PENALTY_S = 0.008
+REQUESTS_PER_PHASE = 600
+PHASES = ("before", "during", "after")
+
+
+def _build_workload():
+    trace = synthesize_trace(
+        num_requests=REQUESTS_PER_PHASE,
+        num_targets=300,
+        total_bytes=int(NUM_BACKENDS * CACHE_BYTES * 0.8),
+        zipf_alpha=0.9,
+        size_popularity_correlation=-0.4,
+        seed=26,
+        name="live-failure",
+    )
+    return DocumentStore.from_trace(tempfile.mkdtemp(prefix="lard-failure-"), trace)
+
+
+def _run_phases():
+    store, urls = _build_workload()
+    results = {}
+    with HandoffCluster(
+        store,
+        num_backends=NUM_BACKENDS,
+        policy="lard/r",
+        cache_bytes=CACHE_BYTES,
+        miss_penalty_s=MISS_PENALTY_S,
+        health_interval_s=0.05,
+    ) as cluster, FaultInjector(cluster) as chaos:
+        for phase in PHASES:
+            if phase == "during":
+                chaos.at(0.10, chaos.kill, VICTIM)
+            generator = LoadGenerator(
+                cluster.address,
+                urls,
+                concurrency=12,
+                verify=cluster.verify,
+                retry_errors=5,
+            )
+            results[phase] = generator.run(REQUESTS_PER_PHASE)
+            cluster.wait_idle()
+            if phase == "during":
+                chaos.join(timeout_s=5)
+                assert not cluster.dispatcher.is_alive(VICTIM)
+                chaos.revive(VICTIM)
+        results["stats"] = cluster.stats()
+    return results
+
+
+def test_live_failure(benchmark):
+    results = benchmark.pedantic(_run_phases, rounds=1, iterations=1)
+    stats = results["stats"]
+    print("\n== live-failure: crash + rejoin on the loopback prototype ==")
+    print(f"{'phase':>8s}  {'rps':>7s}  {'answered':>8s}  {'errors':>6s}  {'rejected':>8s}")
+    for phase in PHASES:
+        r = results[phase]
+        print(
+            f"{phase:>8s}  {r.throughput_rps:>7.0f}  "
+            f"{r.answered:>8d}  {r.errors:>6d}  {r.rejected:>8d}"
+        )
+    print(
+        f"failovers {stats.failovers}  orphaned {stats.orphaned}  "
+        f"marks down/up {stats.health.marks_down}/{stats.health.marks_up}"
+    )
+    # The fault-tolerance contract: nothing hangs, everything is answered.
+    for phase in PHASES:
+        assert results[phase].errors == 0, phase
+        assert results[phase].answered == REQUESTS_PER_PHASE, phase
+    # The ext-failure shape, live: recovery within 10% of baseline (the
+    # acceptance criterion), and the mid-failure phase still serves.
+    before = results["before"].throughput_rps
+    assert results["during"].throughput_rps >= 0.45 * before
+    assert results["after"].throughput_rps >= 0.90 * before
+    assert stats.alive == [True] * NUM_BACKENDS
+    assert stats.loads == [0] * NUM_BACKENDS

@@ -18,16 +18,31 @@ two policies the hand-off protocol was designed for: ``sticky`` lets one
 back-end serve every request on the connection; ``rehandoff`` re-consults
 the dispatcher per request and forwards the connection to the newly chosen
 back-end.
+
+Fault tolerance (paper Section 2.6, made live):
+
+* :meth:`BackendServer.stop` *drains*: queued and in-flight requests are
+  served, keep-alive connections are told ``Connection: close``, and idle
+  ones are shut promptly — no worker thread is leaked.
+* :meth:`BackendServer.kill` *crashes* the node for chaos testing: active
+  connections are severed with an RST, queued-but-unserved connections
+  are reclaimed by the front-end (which fails them over to survivors),
+  and heartbeats start failing so the
+  :class:`~repro.handoff.health.HealthMonitor` marks the node down.
+* :meth:`BackendServer.start` works again after ``stop``/``kill`` — a
+  rejoined node comes back with a cold cache, exactly as in the
+  simulator's ``join_node``.
 """
 
 from __future__ import annotations
 
 import queue
 import socket
+import struct
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Set
 
 from ..cache import GDSCache, LRUCache
 from ..cache.base import Cache
@@ -35,12 +50,23 @@ from .dispatcher import Dispatcher
 from .docroot import DocumentStore
 from .http import HTTPError, HTTPRequest, build_response, parse_request_head
 
-__all__ = ["BackendServer", "BackendStats", "HandoffItem", "PERSISTENT_MODES"]
+__all__ = [
+    "BackendServer",
+    "BackendStats",
+    "BackendUnavailableError",
+    "HandoffItem",
+    "PERSISTENT_MODES",
+]
 
 PERSISTENT_MODES = ("sticky", "rehandoff")
 
 _KEEPALIVE_TIMEOUT_S = 5.0
+_DRAIN_POLL_S = 0.05
 _RECV_BYTES = 65536
+
+
+class BackendUnavailableError(ConnectionError):
+    """Hand-off refused: the target back-end is down or not accepting."""
 
 
 @dataclass
@@ -61,6 +87,12 @@ class BackendStats:
     bytes_sent: int = 0
     errors: int = 0
     rehandoffs_out: int = 0
+    #: Keep-alive connections wound down by a graceful drain.
+    drained: int = 0
+    #: Connections severed by :meth:`BackendServer.kill`.
+    severed: int = 0
+    #: Queued connections handed back to the front-end at kill time.
+    reclaimed: int = 0
 
 
 class BackendServer:
@@ -98,20 +130,37 @@ class BackendServer:
         self._workers = workers
         self._threads: list = []
         self._running = False
+        self._accepting = False
+        self._draining = False
+        self._handoff_lock = threading.Lock()
+        self._conn_lock = threading.Lock()
+        self._active_conns: Set[socket.socket] = set()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self.stats = BackendStats()
         #: Wired by the cluster: the shared dispatcher and peer list.
         self.dispatcher: Optional[Dispatcher] = None
         self.peers: Sequence["BackendServer"] = ()
+        #: Wired by the cluster: reclaims queued connections at kill time
+        #: (``fn(item, from_node)``, usually the front-end's failover path).
+        self.reclaim: Optional[Callable[[HandoffItem, int], None]] = None
+        #: Optional fault-injection hooks (:class:`repro.handoff.faults.BackendFaults`).
+        self.faults = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the worker threads that serve handed-off connections."""
+        """Spawn the worker threads that serve handed-off connections.
+
+        Callable again after :meth:`stop`/:meth:`kill`: the node rejoins
+        with whatever cache state it has — the cluster's health monitor
+        clears it so a rejoined node re-enters cold.
+        """
         if self._running:
             raise RuntimeError(f"backend {self.node_id} already started")
         self._running = True
+        self._draining = False
+        self._accepting = True
         for i in range(self._workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"backend{self.node_id}-w{i}", daemon=True
@@ -120,9 +169,86 @@ class BackendServer:
             self._threads.append(thread)
 
     def stop(self) -> None:
-        """Stop accepting and join every worker thread."""
+        """Graceful drain: serve queued and in-flight requests, wind down
+        keep-alive connections, then join every worker thread."""
+        with self._handoff_lock:
+            self._accepting = False
+        self._draining = True
         self._running = False
+        self._close_listener()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        self._draining = False
+
+    def kill(self) -> None:
+        """Crash the node (chaos testing): sever live connections with an
+        RST, reclaim queued-but-unserved connections through
+        :attr:`reclaim` (front-end failover) and fail future heartbeats.
+        Worker threads are joined so a kill never leaks them."""
+        self._running = False
+        with self._handoff_lock:
+            self._accepting = False
+            pending = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not None:
+                    pending.append(item)
+        self._close_listener()
+        for _ in self._threads:
+            self._queue.put(None)
+        with self._conn_lock:
+            victims = list(self._active_conns)
+        for conn in victims:
+            self._abort_socket(conn)
+            self.stats.severed += 1
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        for item in pending:
+            if self.reclaim is not None:
+                self.stats.reclaimed += 1
+                self.reclaim(item, self.node_id)
+            else:
+                self._abort_socket(item.conn)
+                self.stats.severed += 1
+                if self.dispatcher is not None:
+                    target = item.request.target if item.request else None
+                    self.dispatcher.complete(self.node_id, target)
+
+    def heartbeat(self) -> bool:
+        """Liveness probe used by the health monitor (and fault-injectable)."""
+        faults = self.faults
+        if faults is not None and not faults.heartbeat_ok():
+            return False
+        return self._running and self._accepting
+
+    def reset_cache(self) -> None:
+        """Drop every cached file — a rejoining node starts cold."""
+        with self._cache_lock:
+            self._cache.clear()
+            self._payload.clear()
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _close_listener(self) -> None:
         if self._listener is not None:
+            try:
+                # Wake any thread blocked in accept(); close() alone won't.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -131,11 +257,20 @@ class BackendServer:
                 self._accept_thread.join(timeout=5)
             self._listener = None
             self._accept_thread = None
-        for _ in self._threads:
-            self._queue.put(None)
-        for thread in self._threads:
-            thread.join(timeout=5)
-        self._threads.clear()
+
+    @staticmethod
+    def _abort_socket(conn: socket.socket) -> None:
+        """Close with an RST so the peer learns of the crash immediately."""
+        try:
+            conn.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     # -- listening mode (for L4-proxy deployments) -----------------------------
 
@@ -167,13 +302,29 @@ class BackendServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return
-            self.handoff(HandoffItem(conn=conn, buffered=b"", request=None))
+            try:
+                self.handoff(HandoffItem(conn=conn, buffered=b"", request=None))
+            except (BackendUnavailableError, OSError):
+                self._abort_socket(conn)
 
     # -- the hand-off entry point ------------------------------------------------
 
     def handoff(self, item: HandoffItem) -> None:
-        """Take over an established client connection (front-end API)."""
-        self._queue.put(item)
+        """Take over an established client connection (front-end API).
+
+        Raises :class:`BackendUnavailableError` when the node is down,
+        draining, or refusing hand-offs under fault injection — the
+        front-end reacts by failing the connection over to a survivor.
+        """
+        faults = self.faults
+        if faults is not None:
+            faults.before_handoff(self)
+        with self._handoff_lock:
+            if not self._accepting:
+                raise BackendUnavailableError(
+                    f"backend {self.node_id} is not accepting hand-offs"
+                )
+            self._queue.put(item)
 
     # -- serving -------------------------------------------------------------------
 
@@ -197,6 +348,8 @@ class BackendServer:
         self.stats.connections += 1
         target = request.target if request else None
         forwarded = False
+        with self._conn_lock:
+            self._active_conns.add(conn)
         try:
             while True:
                 if request is None:
@@ -219,6 +372,8 @@ class BackendServer:
                 if not keep_alive:
                     break
         finally:
+            with self._conn_lock:
+                self._active_conns.discard(conn)
             if not forwarded:
                 self._finish_connection(conn, target)
 
@@ -231,9 +386,13 @@ class BackendServer:
             self.dispatcher.complete(self.node_id, target)
 
     def _read_request(self, conn: socket.socket, buffered: bytes):
-        """Read the next request head on a persistent connection."""
-        conn.settimeout(_KEEPALIVE_TIMEOUT_S)
+        """Read the next request head on a persistent connection.
+
+        Polls in short slices so a drain (or kill) in progress is noticed
+        within ``_DRAIN_POLL_S`` instead of a full keep-alive timeout.
+        """
         data = buffered
+        deadline = time.monotonic() + _KEEPALIVE_TIMEOUT_S
         while True:
             try:
                 request = parse_request_head(data)
@@ -242,9 +401,17 @@ class BackendServer:
                 return None, b""
             if request is not None:
                 return request, data
+            if self._draining and not data:
+                self.stats.drained += 1
+                return None, b""  # idle keep-alive connection under drain
+            if time.monotonic() >= deadline:
+                return None, b""
+            conn.settimeout(_DRAIN_POLL_S)
             try:
                 chunk = conn.recv(_RECV_BYTES)
-            except (socket.timeout, OSError):
+            except socket.timeout:
+                continue
+            except OSError:
                 return None, b""
             if not chunk:
                 return None, b""
@@ -257,7 +424,7 @@ class BackendServer:
             self.stats.errors += 1
             return False
         body = self._fetch(request.target)
-        keep_alive = request.keep_alive
+        keep_alive = request.keep_alive and not self._draining
         if body is None:
             payload = build_response(
                 404, b"not found", keep_alive=keep_alive, version=request.version
@@ -276,6 +443,9 @@ class BackendServer:
         return keep_alive
 
     def _send(self, conn: socket.socket, payload: bytes) -> None:
+        faults = self.faults
+        if faults is not None:
+            faults.before_send(self, conn, payload)
         conn.settimeout(_KEEPALIVE_TIMEOUT_S)
         conn.sendall(payload)
 

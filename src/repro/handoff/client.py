@@ -82,9 +82,20 @@ class LoadResult:
 
     requests: int = 0
     errors: int = 0
+    #: Requests answered ``503 Service Unavailable`` — the server refused
+    #: cleanly (admission timeout or no surviving back-end), as opposed to
+    #: an error, where no usable response arrived at all.
+    rejected: int = 0
+    #: Transport failures recovered by client-side retry.
+    retries: int = 0
     bytes_received: int = 0
     elapsed_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        """Requests that received *some* HTTP response (success or 503)."""
+        return self.requests + self.rejected
 
     @property
     def throughput_rps(self) -> float:
@@ -118,6 +129,13 @@ class LoadGenerator:
         >1 exercises persistent connections (HTTP/1.1 keep-alive).
     verify:
         Optional ``fn(path, body) -> bool``; failures count as errors.
+    retry_errors:
+        Transport failures (connection reset/closed mid-response) are
+        retried this many times on a fresh connection before counting as
+        an error — what any real HTTP client does for idempotent GETs,
+        and what makes a mid-run back-end crash invisible to clients.
+        ``503`` responses are *not* retried; they are counted in
+        :attr:`LoadResult.rejected`.
     """
 
     def __init__(
@@ -128,6 +146,7 @@ class LoadGenerator:
         requests_per_connection: int = 1,
         verify: Optional[Callable[[str, bytes], bool]] = None,
         timeout_s: float = 30.0,
+        retry_errors: int = 0,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"need at least one client, got {concurrency}")
@@ -135,12 +154,15 @@ class LoadGenerator:
             raise ValueError("requests_per_connection must be >= 1")
         if not urls:
             raise ValueError("need at least one URL")
+        if retry_errors < 0:
+            raise ValueError("retry_errors must be >= 0")
         self.address = address
         self.urls = list(urls)
         self.concurrency = concurrency
         self.requests_per_connection = requests_per_connection
         self.verify = verify
         self.timeout_s = timeout_s
+        self.retry_errors = retry_errors
         self._cursor = 0
         self._cursor_lock = threading.Lock()
 
@@ -170,10 +192,27 @@ class LoadGenerator:
                 if batch == 0:
                     return
                 paths = self._next_urls(batch)
-                served, errors, received, latencies = self._run_connection(paths)
+                served, errors, rejected, received, latencies, failed = (
+                    self._run_connection(paths)
+                )
+                retries = 0
+                for path in failed:
+                    outcome, nbytes, latency = self._retry_one(path)
+                    if outcome == "ok":
+                        retries += 1
+                        served += 1
+                        received += nbytes
+                        latencies.append(latency)
+                    elif outcome == "rejected":
+                        retries += 1
+                        rejected += 1
+                    else:
+                        errors += 1
                 with result_lock:
                     result.requests += served
-                    result.errors += errors + (batch - served - errors)
+                    result.errors += errors
+                    result.rejected += rejected
+                    result.retries += retries
                     result.bytes_received += received
                     result.latencies_s.extend(latencies)
 
@@ -190,16 +229,25 @@ class LoadGenerator:
         return result
 
     def _run_connection(self, paths: List[str]):
+        """Issue ``paths`` on one (possibly persistent) connection.
+
+        Returns ``(served, errors, rejected, received, latencies,
+        failed_paths)`` where ``failed_paths`` are requests that hit a
+        transport failure (including those never attempted because the
+        connection broke) — candidates for client-side retry.
+        """
         served = 0
         errors = 0
+        rejected = 0
         received = 0
         latencies: List[float] = []
         persistent = self.requests_per_connection > 1
         try:
             conn = socket.create_connection(self.address, timeout=self.timeout_s)
         except OSError:
-            return served, len(paths), received, latencies
+            return served, errors, rejected, received, latencies, list(paths)
         buffered = b""
+        failed: List[str] = []
         try:
             for index, path in enumerate(paths):
                 last = index == len(paths) - 1
@@ -212,11 +260,12 @@ class LoadGenerator:
                     )
                     status, body, buffered, _ = _read_response(conn, buffered)
                 except (OSError, _ResponseError, ValueError):
-                    errors += 1
+                    failed = list(paths[index:])
                     break
                 latencies.append(time.perf_counter() - started)
-                ok = status == 200 and (self.verify is None or self.verify(path, body))
-                if ok:
+                if status == 503:
+                    rejected += 1
+                elif status == 200 and (self.verify is None or self.verify(path, body)):
                     served += 1
                     received += len(body)
                 else:
@@ -226,4 +275,30 @@ class LoadGenerator:
                 conn.close()
             except OSError:
                 pass
-        return served, errors, received, latencies
+        return served, errors, rejected, received, latencies, failed
+
+    def _retry_one(self, path: str):
+        """Retry one request on fresh connections after a transport failure.
+
+        Returns ``(outcome, bytes, latency_s)`` with outcome one of
+        ``"ok"``, ``"rejected"`` (503), or ``"error"``.
+        """
+        for _ in range(self.retry_errors):
+            started = time.perf_counter()
+            try:
+                with socket.create_connection(
+                    self.address, timeout=self.timeout_s
+                ) as conn:
+                    conn.sendall(
+                        f"GET {path} HTTP/1.1\r\nHost: cluster\r\n"
+                        "Connection: close\r\n\r\n".encode()
+                    )
+                    status, body, _, _ = _read_response(conn, b"")
+            except (OSError, _ResponseError, ValueError):
+                continue
+            if status == 503:
+                return "rejected", 0, 0.0
+            if status == 200 and (self.verify is None or self.verify(path, body)):
+                return "ok", len(body), time.perf_counter() - started
+            return "error", 0, 0.0
+        return "error", 0, 0.0

@@ -4,9 +4,11 @@
 :class:`~repro.handoff.docroot.DocumentStore`, N
 :class:`~repro.handoff.backend.BackendServer` threads, a
 :class:`~repro.handoff.dispatcher.Dispatcher` around any
-:mod:`repro.core` policy, and the
-:class:`~repro.handoff.frontend.FrontEndServer` — on loopback TCP, and
-tears them down cleanly.  Use it as a context manager:
+:mod:`repro.core` policy, the
+:class:`~repro.handoff.frontend.FrontEndServer`, and a
+:class:`~repro.handoff.health.HealthMonitor` for failure detection —
+on loopback TCP, and tears them down cleanly.  Use it as a context
+manager:
 
 >>> from repro.handoff import HandoffCluster, DocumentStore, LoadGenerator
 >>> import tempfile
@@ -14,11 +16,19 @@ tears them down cleanly.  Use it as a context manager:
 >>> with HandoffCluster(store, num_backends=2, policy="lard/r") as cluster:
 ...     result = LoadGenerator(cluster.address, ["/a"], concurrency=2).run(20)
 ...     # doctest: +SKIP
+
+Failure handling is on by default: dead back-ends are detected by
+heartbeat (or fail-fast on a refused hand-off), their LARD mappings are
+dropped, in-flight work fails over to survivors, and a restarted
+back-end rejoins cold.  :meth:`HandoffCluster.fail_backend` /
+:meth:`HandoffCluster.restart_backend` (and
+:class:`repro.handoff.faults.FaultInjector` for scripted chaos) drive
+those transitions from tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core import make_policy
@@ -26,6 +36,7 @@ from .backend import BackendServer, BackendStats
 from .dispatcher import Dispatcher
 from .docroot import DocumentStore
 from .frontend import FrontEndServer, FrontEndStats
+from .health import HealthMonitor, HealthStats
 from .l4proxy import L4ProxyFrontEnd, L4ProxyStats
 
 __all__ = ["HandoffCluster", "L4ProxyCluster", "ClusterStats"]
@@ -38,6 +49,15 @@ class ClusterStats:
     frontend: FrontEndStats
     backends: List[BackendStats]
     loads: List[int]
+    #: Per-node liveness at snapshot time (policy's view).
+    alive: List[bool] = field(default_factory=list)
+    #: Heartbeat / failover observability (None when health is disabled).
+    health: Optional[HealthStats] = None
+    #: Connections that died with a failed back-end (simulator's
+    #: ``orphaned_connections``, live).
+    orphaned: int = 0
+    #: Connections moved to a survivor after their back-end failed.
+    failovers: int = 0
 
     @property
     def requests_served(self) -> int:
@@ -77,6 +97,12 @@ class HandoffCluster:
         t_high: int = 12,
         max_in_flight: Optional[int] = None,
         handler_threads: int = 16,
+        health_interval_s: float = 0.25,
+        failure_threshold: int = 2,
+        recovery_threshold: int = 2,
+        enable_health: bool = True,
+        admit_timeout_s: Optional[float] = 10.0,
+        max_handoff_retries: int = 3,
     ) -> None:
         self.store = store
         policy_obj = make_policy(
@@ -94,33 +120,54 @@ class HandoffCluster:
             )
             for node_id in range(num_backends)
         ]
+        self.frontend = FrontEndServer(
+            self.dispatcher,
+            self.backends,
+            store=store,
+            handler_threads=handler_threads,
+            admit_timeout_s=admit_timeout_s,
+            max_handoff_retries=max_handoff_retries,
+        )
+        self.health: Optional[HealthMonitor] = None
+        if enable_health:
+            self.health = HealthMonitor(
+                self.dispatcher,
+                self.backends,
+                interval_s=health_interval_s,
+                failure_threshold=failure_threshold,
+                recovery_threshold=recovery_threshold,
+            )
+            self.frontend.on_backend_failure = self.health.mark_down
         for backend in self.backends:
             backend.dispatcher = self.dispatcher
             backend.peers = self.backends
-        self.frontend = FrontEndServer(
-            self.dispatcher, self.backends, store=store, handler_threads=handler_threads
-        )
+            backend.reclaim = self.frontend.failover_item
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> Tuple[str, int]:
-        """Start back-ends then the front-end; returns the client address."""
+        """Start back-ends, the front-end, then health; returns the client address."""
         if self._started:
             raise RuntimeError("cluster already started")
         for backend in self.backends:
             backend.start()
         self.frontend.start()
+        if self.health is not None:
+            self.health.start()
         self._started = True
         return self.address
 
     def stop(self) -> None:
-        """Shut down the front-end and back-ends (idempotent)."""
+        """Shut down health, the front-end, then drain back-ends (idempotent)."""
         if not self._started:
             return
+        if self.health is not None:
+            self.health.stop()
         self.frontend.stop()
         for backend in self.backends:
-            backend.stop()
+            if backend.running:
+                backend.stop()
         self._started = False
 
     def __enter__(self) -> "HandoffCluster":
@@ -137,6 +184,45 @@ class HandoffCluster:
     @property
     def num_backends(self) -> int:
         return len(self.backends)
+
+    # -- membership (paper Section 2.6, live) ----------------------------------
+
+    def fail_backend(self, node: int, detect: bool = True) -> None:
+        """Crash one back-end (see :meth:`BackendServer.kill`).
+
+        With ``detect=True`` the failure is marked immediately (as the
+        hand-off fail-fast path would); with ``detect=False`` only the
+        heartbeat monitor will notice, after ``failure_threshold``
+        missed beats — useful for exercising detection latency.
+        """
+        self.backends[node].kill()
+        if detect:
+            if self.health is not None:
+                self.health.mark_down(node)
+            else:
+                from ..core.base import PolicyError
+
+                try:
+                    self.dispatcher.fail_node(node)
+                except PolicyError:
+                    pass
+
+    def restart_backend(self, node: int, immediate: bool = True) -> None:
+        """Bring a crashed/stopped back-end back, cold.
+
+        ``immediate=True`` rejoins the policy's node set right away;
+        otherwise the health monitor rejoins it after
+        ``recovery_threshold`` clean heartbeats.
+        """
+        backend = self.backends[node]
+        if not backend.running:
+            backend.start()
+        if immediate:
+            if self.health is not None:
+                self.health.mark_up(node)
+            else:
+                backend.reset_cache()
+                self.dispatcher.join_node(node)
 
     def wait_idle(self, timeout_s: float = 5.0) -> bool:
         """Block until every admitted connection has completed.
@@ -157,11 +243,16 @@ class HandoffCluster:
     # -- reporting ---------------------------------------------------------------
 
     def stats(self) -> ClusterStats:
-        """Snapshot of front-end and per-back-end statistics."""
+        """Snapshot of front-end, health, and per-back-end statistics."""
+        alive_set = set(self.dispatcher.alive_nodes)
         return ClusterStats(
             frontend=self.frontend.stats,
             backends=[b.stats for b in self.backends],
             loads=self.dispatcher.loads,
+            alive=[n in alive_set for n in range(len(self.backends))],
+            health=self.health.stats if self.health is not None else None,
+            orphaned=self.dispatcher.orphaned,
+            failovers=self.dispatcher.failovers,
         )
 
     def verify(self, path: str, body: bytes) -> bool:
@@ -181,6 +272,10 @@ class L4ProxyCluster:
     bytes flow through the front-end; compare
     ``stats().proxy.bytes_relayed`` against a
     :class:`HandoffCluster`, whose front-end never touches them.
+
+    Failure handling matches the L4 reality: the proxy discovers a dead
+    back-end when its TCP connect fails, drops it from rotation, and
+    retries the connection against a survivor.
     """
 
     def __init__(

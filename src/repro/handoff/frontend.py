@@ -17,6 +17,15 @@ in-process socket transfer (or cross-process FD passing, see
 :mod:`repro.handoff.fdpass`); the control flow and accounting are the
 paper's.  Hand-off latency and throughput counters correspond to the
 Section 6.2 measurements.
+
+Failure handling (paper Section 2.6): a hand-off that fails — the target
+back-end is down, refusing, or errors — marks the node failed (dropping
+its LARD mappings, "as if they had not been assigned before"), re-runs
+the policy over the surviving nodes, and retries with capped exponential
+backoff.  Only when every retry is exhausted does the client get a
+``503 Service Unavailable``; the admission slot is returned on every
+path, success or failure, so the front-end can never wedge at
+``max_in_flight`` because of dead back-ends.
 """
 
 from __future__ import annotations
@@ -26,9 +35,10 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from .backend import BackendServer, HandoffItem
+from ..core.base import PolicyError
+from .backend import BackendServer, BackendUnavailableError, HandoffItem
 from .dispatcher import Dispatcher
 from .docroot import DocumentStore
 from .http import HTTPError, build_response, parse_request_head
@@ -45,6 +55,17 @@ class FrontEndStats:
     handoffs: int = 0
     errors: int = 0
     handoff_time_total_s: float = 0.0
+    #: Hand-off attempts that failed (target down or refusing).
+    handoff_failures: int = 0
+    #: Connections successfully moved to a surviving back-end.
+    failovers: int = 0
+    #: Back-off retry sleeps taken during failover.
+    retries: int = 0
+    #: Connections answered 503: admission timed out or no back-end could
+    #: take the hand-off within the retry budget.
+    rejected: int = 0
+    #: Queued connections reclaimed from a killed back-end and re-dispatched.
+    reclaimed: int = 0
 
     @property
     def mean_handoff_latency_s(self) -> float:
@@ -53,7 +74,21 @@ class FrontEndStats:
 
 
 class FrontEndServer:
-    """Accepts client connections and hands them to back-ends."""
+    """Accepts client connections and hands them to back-ends.
+
+    Parameters
+    ----------
+    admit_timeout_s:
+        How long an accepted connection may wait for an admission slot
+        before being answered ``503`` (None blocks forever — the
+        pre-fault-tolerance behavior).
+    max_handoff_retries:
+        Failed hand-off attempts tolerated per connection before giving
+        up with a ``503``.
+    retry_backoff_s / retry_backoff_cap_s:
+        Initial and maximum sleep between failover attempts (exponential,
+        capped).
+    """
 
     def __init__(
         self,
@@ -63,22 +98,38 @@ class FrontEndServer:
         host: str = "127.0.0.1",
         port: int = 0,
         handler_threads: int = 16,
+        admit_timeout_s: Optional[float] = 10.0,
+        max_handoff_retries: int = 3,
+        retry_backoff_s: float = 0.02,
+        retry_backoff_cap_s: float = 0.25,
     ) -> None:
         if len(backends) != dispatcher.policy.num_nodes:
             raise ValueError(
                 f"dispatcher expects {dispatcher.policy.num_nodes} back-ends, "
                 f"got {len(backends)}"
             )
+        if max_handoff_retries < 0:
+            raise ValueError(f"max_handoff_retries must be >= 0, got {max_handoff_retries}")
         self.dispatcher = dispatcher
         self.backends = backends
         self.store = store
         self.host = host
         self.port = port
+        self.admit_timeout_s = admit_timeout_s
+        self.max_handoff_retries = max_handoff_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        #: Invoked with the failed node id on hand-off failure; the cluster
+        #: wires this to :meth:`HealthMonitor.mark_down` so heartbeat
+        #: bookkeeping stays consistent.  Defaults to failing the node
+        #: directly on the dispatcher.
+        self.on_backend_failure: Optional[Callable[[int], None]] = None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._pool = ThreadPoolExecutor(max_workers=handler_threads, thread_name_prefix="fe")
         self._running = False
         self.stats = FrontEndStats()
+        self._stats_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -108,6 +159,12 @@ class FrontEndServer:
         """Close the listener and drain handler threads."""
         self._running = False
         if self._listener is not None:
+            try:
+                # close() alone does not wake a thread blocked in accept();
+                # shutdown() makes it return immediately.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -143,15 +200,17 @@ class FrontEndServer:
             size = 0
             if self.store is not None:
                 size = self.store.size_of(request.target) or 0
-            node = self.dispatcher.admit(request.target, size)
-            if node is None:  # pragma: no cover - admit() without timeout blocks
-                conn.close()
+            node = self.dispatcher.admit(request.target, size, timeout=self.admit_timeout_s)
+            if node is None:
+                # Admission control timed out: tell the client instead of
+                # silently dropping the connection.
+                self.stats.rejected += 1
+                self._refuse(conn, b"admission queue full")
                 return
-            self.stats.handoffs += 1
-            self.stats.handoff_time_total_s += time.perf_counter() - accepted_at
-            self.backends[node].handoff(
-                HandoffItem(conn=conn, buffered=data, request=request)
-            )
+            item = HandoffItem(conn=conn, buffered=data, request=request)
+            if self._dispatch(item, node, request.target, size):
+                self.stats.handoffs += 1
+                self.stats.handoff_time_total_s += time.perf_counter() - accepted_at
         except HTTPError as exc:
             self.stats.errors += 1
             try:
@@ -165,3 +224,106 @@ class FrontEndServer:
                 conn.close()
             except OSError:
                 pass
+
+    # -- failover (paper Section 2.6) ------------------------------------------
+
+    def _dispatch(self, item: HandoffItem, node: int, target, size: int) -> bool:
+        """Hand ``item`` (already admitted at ``node``) to a back-end,
+        failing over across surviving nodes with capped exponential
+        backoff.  Exactly one of these happens:
+
+        * the hand-off succeeds (returns True);
+        * every retry is exhausted — the admission slot is released, the
+          client gets a 503, and False is returned.
+
+        The slot can never leak: any unexpected error aborts the
+        admission before propagating.
+        """
+        backoff = self.retry_backoff_s
+        attempts = 0
+        try:
+            while True:
+                if self.dispatcher.is_alive(node):
+                    try:
+                        self.backends[node].handoff(item)
+                        return True
+                    except (BackendUnavailableError, OSError):
+                        with self._stats_lock:
+                            self.stats.handoff_failures += 1
+                        self._report_backend_failure(node)
+                attempts += 1
+                if attempts > self.max_handoff_retries:
+                    break
+                if attempts > 1:
+                    # First failover is immediate (the policy already
+                    # avoids the failed node); later ones back off.
+                    with self._stats_lock:
+                        self.stats.retries += 1
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, self.retry_backoff_cap_s)
+                try:
+                    new_node = self.dispatcher.reassign(node, target, size)
+                except PolicyError:
+                    break  # no surviving node can take it
+                if new_node != node:
+                    with self._stats_lock:
+                        self.stats.failovers += 1
+                node = new_node
+        except BaseException:
+            self.dispatcher.abort(node, target, size)
+            raise
+        # Retries exhausted: release the slot, then tell the client.
+        self.dispatcher.abort(node, target, size)
+        with self._stats_lock:
+            self.stats.rejected += 1
+        self._refuse(item.conn, b"no back-end available")
+        return False
+
+    def failover_item(self, item: HandoffItem, from_node: int) -> None:
+        """Re-dispatch a connection reclaimed from a failed back-end.
+
+        Wired as :attr:`BackendServer.reclaim`: when a node is killed, its
+        queued-but-unserved connections come back here instead of dying
+        with it.  The connection keeps its admission slot; it is moved to
+        a survivor or answered 503.
+        """
+        with self._stats_lock:
+            self.stats.reclaimed += 1
+        target = item.request.target if item.request is not None else None
+        self._report_backend_failure(from_node)
+        try:
+            node = self.dispatcher.reassign(from_node, target)
+        except PolicyError:
+            self.dispatcher.abort(from_node, target)
+            with self._stats_lock:
+                self.stats.rejected += 1
+            self._refuse(item.conn, b"no back-end available")
+            return
+        if self._dispatch(item, node, target, 0):
+            with self._stats_lock:
+                self.stats.failovers += 1
+
+    def _report_backend_failure(self, node: int) -> None:
+        """Fail-fast detection: a refused hand-off marks the node down
+        immediately (heartbeats would only confirm it later)."""
+        callback = self.on_backend_failure
+        try:
+            if callback is not None:
+                callback(node)
+            else:
+                self.dispatcher.fail_node(node)
+        except PolicyError:
+            pass  # last alive node: keep it nominally routable; 503s follow
+
+    def _refuse(self, conn: socket.socket, reason: bytes) -> None:
+        """Best-effort 503 + close (never silently drop a connection)."""
+        try:
+            conn.sendall(
+                build_response(503, reason, extra_headers={"Retry-After": "1"})
+            )
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -99,6 +99,7 @@ _REASONS = {
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
     505: "HTTP Version Not Supported",
 }
 

@@ -31,6 +31,7 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.base import PolicyError
 from .dispatcher import Dispatcher
 
 __all__ = ["L4ProxyFrontEnd", "L4ProxyStats"]
@@ -46,6 +47,10 @@ class L4ProxyStats:
     errors: int = 0
     bytes_to_backend: int = 0
     bytes_to_client: int = 0
+    #: Back-end TCP connects that failed (the L4 failure signal).
+    connect_failures: int = 0
+    #: Connections retried against a surviving back-end after a failure.
+    failovers: int = 0
 
     @property
     def bytes_relayed(self) -> int:
@@ -106,6 +111,11 @@ class L4ProxyFrontEnd:
         self._running = False
         if self._listener is not None:
             try:
+                # Wake any thread blocked in accept(); close() alone won't.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 self._listener.close()
             except OSError:
                 pass
@@ -135,9 +145,10 @@ class L4ProxyFrontEnd:
             return
         upstream: Optional[socket.socket] = None
         try:
-            upstream = socket.create_connection(
-                self.backend_addresses[node], timeout=_IO_TIMEOUT_S
-            )
+            node, upstream = self._connect_with_failover(node)
+            if upstream is None:
+                self.stats.errors += 1
+                return
             self.stats.proxied += 1
             done = threading.Event()
             to_backend = threading.Thread(
@@ -158,6 +169,33 @@ class L4ProxyFrontEnd:
                     except OSError:
                         pass
             self.dispatcher.complete(node)
+
+    def _connect_with_failover(self, node: int):
+        """Connect to ``node``, failing over when its connect is refused —
+        the only failure signal an L4 front-end has.  Returns
+        ``(final_node, socket or None)``; load accounting tracks the
+        final node."""
+        attempts = 0
+        while True:
+            try:
+                upstream = socket.create_connection(
+                    self.backend_addresses[node], timeout=_IO_TIMEOUT_S
+                )
+                return node, upstream
+            except OSError:
+                self.stats.connect_failures += 1
+                try:
+                    self.dispatcher.fail_node(node)
+                except PolicyError:
+                    pass  # last alive back-end: nothing to fail over to
+                attempts += 1
+                if attempts > len(self.backend_addresses):
+                    return node, None
+                try:
+                    node = self.dispatcher.reassign(node)
+                except PolicyError:
+                    return node, None
+                self.stats.failovers += 1
 
     def _pump(
         self,

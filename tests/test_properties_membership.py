@@ -1,0 +1,98 @@
+"""Property-based tests for membership schedules (paper Section 2.6).
+
+Hypothesis generates arbitrary *valid* failure/rejoin schedules — fail
+only an alive node, never the last one; rejoin only a dead node — and
+asserts the simulator's fault-tolerance invariants hold for every one:
+the full trace is always served, and orphaned-connection accounting is
+consistent with the schedule.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster import run_simulation
+from repro.workload import synthesize_trace
+
+NUM_NODES = 4
+CACHE = 2**20
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_trace(1500, 300, 4 * 2**20, 0.9, seed=11)
+
+
+@pytest.fixture(scope="module")
+def base_sim_time(trace):
+    return run_simulation(
+        trace, policy="lard/r", num_nodes=NUM_NODES, node_cache_bytes=CACHE
+    ).sim_time_s
+
+
+@st.composite
+def membership_schedules(draw, num_nodes=NUM_NODES, max_events=8):
+    """A valid schedule: (fraction_of_sim_time, action, node) tuples with
+    strictly increasing times, failing only alive nodes (never the last
+    one) and rejoining only dead ones."""
+    alive = [True] * num_nodes
+    count = draw(st.integers(min_value=0, max_value=max_events))
+    events = []
+    frac = 0.0
+    for _ in range(count):
+        frac += draw(st.floats(min_value=0.02, max_value=0.2, allow_nan=False))
+        if frac >= 0.95:
+            break
+        choices = []
+        if sum(alive) > 1:
+            choices.extend(("fail", n) for n in range(num_nodes) if alive[n])
+        choices.extend(("join", n) for n in range(num_nodes) if not alive[n])
+        action, node = draw(st.sampled_from(choices))
+        alive[node] = action == "join"
+        events.append((frac, action, node))
+    return tuple(events)
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=membership_schedules())
+def test_any_valid_schedule_serves_full_trace(trace, base_sim_time, schedule):
+    events = tuple(
+        (frac * base_sim_time, action, node) for frac, action, node in schedule
+    )
+    result = run_simulation(
+        trace,
+        policy="lard/r",
+        num_nodes=NUM_NODES,
+        node_cache_bytes=CACHE,
+        membership_events=events,
+    )
+    # Invariant 1: every request in the trace is served, whatever the
+    # failure schedule (>=1 node stays alive by construction).
+    assert result.num_requests == len(trace)
+    # Invariant 2: orphan accounting is consistent with the schedule —
+    # no failures means no orphans, and orphans can never exceed the
+    # connections the simulator admitted.
+    fails = sum(1 for _, action, _ in events if action == "fail")
+    if fails == 0:
+        assert result.orphaned_connections == 0
+    assert 0 <= result.orphaned_connections <= result.connections
+    # Invariant 3: the simulation made forward progress in finite time.
+    assert result.sim_time_s > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(schedule=membership_schedules(max_events=4))
+def test_schedules_equivalent_across_policies(trace, base_sim_time, schedule):
+    """LARD (non-replicated) honors the same invariants under churn."""
+    events = tuple(
+        (frac * base_sim_time, action, node) for frac, action, node in schedule
+    )
+    result = run_simulation(
+        trace,
+        policy="lard",
+        num_nodes=NUM_NODES,
+        node_cache_bytes=CACHE,
+        membership_events=events,
+    )
+    assert result.num_requests == len(trace)
+    assert 0 <= result.orphaned_connections <= result.connections

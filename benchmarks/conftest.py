@@ -14,15 +14,25 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis import QUICK, Scale, run_experiment
+
+#: Worker processes per experiment (``REPRO_BENCH_JOBS=0`` = one per CPU).
+#: Cells are deterministic, so parallel runs report identical tables.
+_BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+if _BENCH_JOBS == 0:
+    _BENCH_JOBS = os.cpu_count() or 1
 
 
 def run_and_report(benchmark, experiment_id: str, scale: Scale = QUICK):
     """Run one experiment under pytest-benchmark and verify its checks."""
     result = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, scale), rounds=1, iterations=1
+        lambda: run_experiment(experiment_id, scale, jobs=_BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     print("\n" + result.render())
     failures = [check for check in result.checks if check.startswith("FAIL")]

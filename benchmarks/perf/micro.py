@@ -1,0 +1,122 @@
+"""The three perf microbenchmarks, as plain importable functions.
+
+Each returns a flat dict of measurements; ``scripts/bench_perf.py``
+aggregates them into ``BENCH_perf.json`` and ``test_perf_smoke.py`` runs
+scaled-down versions as a functional smoke test.  All workloads are
+deterministic (fixed seeds, fixed schedules), so run-to-run variance is
+machine noise only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.analysis.sweep import sweep
+from repro.cluster import PAPER_NODE_CACHE_BYTES, run_simulation
+from repro.sim import Delay, Engine
+from repro.workload import cached_trace
+
+__all__ = [
+    "calibration_score",
+    "bench_engine_events",
+    "bench_sim_requests",
+    "bench_sweep",
+    "E2E_TRACE_PARAMS",
+    "E2E_SIM_PARAMS",
+]
+
+#: The end-to-end benchmark workload: the 100k-request Rice-like trace at
+#: 0.1 scale, served by 8 LARD/R nodes with proportionally scaled caches.
+#: This is the configuration the tier-2 speedup claims are measured on.
+E2E_TRACE_PARAMS: Dict[str, Any] = dict(num_requests=100_000, scale=0.1)
+E2E_SIM_PARAMS: Dict[str, Any] = dict(
+    policy="lard/r", num_nodes=8, node_cache_bytes=int(PAPER_NODE_CACHE_BYTES * 0.1)
+)
+
+
+def calibration_score(iterations: int = 2_000_000) -> float:
+    """Pure-Python ops/sec of this interpreter on this machine.
+
+    Perf metrics are normalized by this score before cross-machine
+    regression comparison, so a slower CI runner does not read as a code
+    regression.
+    """
+    t0 = time.perf_counter()
+    x = 0
+    for i in range(iterations):
+        x += i & 7
+    elapsed = time.perf_counter() - t0
+    assert x >= 0
+    return iterations / elapsed
+
+
+def bench_engine_events(num_events: int = 400_000, fanout: int = 200) -> Dict[str, float]:
+    """Raw engine dispatch rate: ``fanout`` processes looping on Delay.
+
+    Exercises the full hot path — heap push/pop, tuple dispatch,
+    generator resumption — with a queue depth of ``fanout`` pending
+    events, which matches the simulator's typical occupancy better than a
+    single self-rescheduling callback would.
+    """
+    engine = Engine()
+    steps = max(1, num_events // (2 * fanout))  # each step = 1 schedule + 1 dispatch
+
+    def looper(period: float):
+        for _ in range(steps):
+            yield Delay(period)
+
+    for i in range(fanout):
+        engine.process(looper(0.5 + (i % 17) / 16.0))
+    t0 = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "events": float(engine.events_dispatched),
+        "events_per_s": engine.events_dispatched / elapsed,
+    }
+
+
+def bench_sim_requests(num_requests: int = 100_000) -> Dict[str, float]:
+    """End-to-end simulation throughput on the reference LARD/R workload.
+
+    Trace generation is excluded from the timed region (and memoized on
+    disk), so the number isolates the simulator itself.
+    """
+    params = dict(E2E_TRACE_PARAMS)
+    params["num_requests"] = num_requests
+    trace = cached_trace("rice", **params)
+    t0 = time.perf_counter()
+    result = run_simulation(trace, **E2E_SIM_PARAMS)
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "requests": float(num_requests),
+        "requests_per_s": num_requests / elapsed,
+        "sim_throughput_rps": result.throughput_rps,
+        "sim_miss_ratio": result.cache_miss_ratio,
+    }
+
+
+def bench_sweep(jobs: int, num_requests: int = 20_000) -> Dict[str, float]:
+    """Wall-clock for a 16-cell sweep at the given worker count.
+
+    The cells (4 policies x 4 cluster sizes) are the acceptance
+    workload for parallel scaling; rows are identical at every ``jobs``.
+    """
+    trace = cached_trace("rice", num_requests=num_requests, scale=0.1)
+    parameters = dict(
+        policy=["wrr", "lb", "lard", "lard/r"],
+        num_nodes=[2, 4, 6, 8],
+        node_cache_bytes=[int(PAPER_NODE_CACHE_BYTES * 0.1)],
+    )
+    t0 = time.perf_counter()
+    rows = sweep(trace, jobs=jobs, **parameters)
+    elapsed = time.perf_counter() - t0
+    return {
+        "seconds": elapsed,
+        "cells": float(len(rows)),
+        "cells_per_s": len(rows) / elapsed,
+        "jobs": float(jobs),
+    }

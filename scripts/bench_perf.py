@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Perf-regression harness: measure, record, and gate simulator speed.
+
+Measures the microbenchmarks in ``benchmarks/perf/micro.py`` (raw engine
+event dispatch, end-to-end simulation throughput, parallel sweep
+scaling) plus a pure-Python calibration score, and writes everything to
+a JSON report.
+
+Usage::
+
+    python scripts/bench_perf.py --out BENCH_perf.json      # refresh baseline
+    python scripts/bench_perf.py --check BENCH_perf.json    # CI regression gate
+    python scripts/bench_perf.py --quick --check BENCH_perf.json
+    python scripts/bench_perf.py --compare-ref <git-ref>    # A/B vs old code
+
+``--check`` compares throughput metrics *normalized by the calibration
+score* against the committed baseline and exits non-zero if any fell
+more than ``--threshold`` (default 30%), so a slower CI machine is not
+mistaken for a code regression.  The parallel-speedup metric is only
+gated when both machines have more than one CPU.
+
+``--compare-ref`` answers "how much faster is this tree than revision X"
+honestly: it checks the ref out into a temporary git worktree and runs
+the end-to-end benchmark *interleaved* (ref, current, ref, current, ...)
+in fresh subprocesses, cancelling machine noise; the median per-round
+speedup and the (required-identical) simulation outputs are reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf import micro  # noqa: E402  (benchmarks/perf/micro.py)
+
+#: Metrics gated by --check (all higher-is-better, calibration-normalized),
+#: mapped to the benchmark-size key their value depends on: a metric is
+#: only compared when baseline and current run used the same size, since
+#: e.g. sweep cells/s scales with trace length.
+_GATED_METRICS = (
+    ("engine_events_per_s", "engine_events"),
+    ("sim_requests_per_s", "sim_requests"),
+    ("sweep_cells_per_s_serial", "sweep_requests"),
+)
+
+#: Child snippet for --compare-ref; uses only APIs present in every
+#: revision of this repo, so it runs unmodified in the old worktree.
+_AB_CHILD = """
+import json, sys, time
+from repro.workload import rice_like_trace
+from repro.cluster import run_simulation, PAPER_NODE_CACHE_BYTES
+n = int(sys.argv[1])
+trace = rice_like_trace(num_requests=n, scale=0.1)
+t0 = time.perf_counter()
+result = run_simulation(trace, policy="lard/r", num_nodes=8,
+                        node_cache_bytes=int(PAPER_NODE_CACHE_BYTES * 0.1))
+print(json.dumps({"seconds": time.perf_counter() - t0,
+                  "throughput_rps": result.throughput_rps,
+                  "miss_ratio": result.cache_miss_ratio}))
+"""
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def measure(quick: bool, jobs: int) -> dict:
+    sizes = {
+        "engine_events": 100_000 if quick else 400_000,
+        "sim_requests": 20_000 if quick else 100_000,
+        "sweep_requests": 5_000 if quick else 20_000,
+    }
+    calibration = micro.calibration_score(500_000 if quick else 2_000_000)
+    engine = micro.bench_engine_events(num_events=sizes["engine_events"])
+    simulator = micro.bench_sim_requests(num_requests=sizes["sim_requests"])
+    sweep_serial = micro.bench_sweep(jobs=1, num_requests=sizes["sweep_requests"])
+    sweep_parallel = micro.bench_sweep(jobs=jobs, num_requests=sizes["sweep_requests"])
+    speedup = sweep_serial["seconds"] / sweep_parallel["seconds"]
+    return {
+        "version": 1,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "git_rev": _git_rev(),
+            "mode": "quick" if quick else "full",
+            "sweep_jobs": jobs,
+            "benchmark_sizes": sizes,
+        },
+        "metrics": {
+            "calibration_ops_per_s": calibration,
+            "engine_events_per_s": engine["events_per_s"],
+            "sim_requests_per_s": simulator["requests_per_s"],
+            "sweep_cells_per_s_serial": sweep_serial["cells_per_s"],
+            "sweep_cells_per_s_parallel": sweep_parallel["cells_per_s"],
+            "sweep_parallel_speedup": speedup,
+            "sweep_parallel_efficiency": speedup / max(1, jobs),
+        },
+        "details": {
+            "engine": engine,
+            "simulator": simulator,
+            "sweep_serial": sweep_serial,
+            "sweep_parallel": sweep_parallel,
+        },
+    }
+
+
+def check(report: dict, baseline: dict, threshold: float) -> int:
+    """Return the number of regressed metrics (0 = pass)."""
+    cal_now = report["metrics"]["calibration_ops_per_s"]
+    cal_base = baseline["metrics"]["calibration_ops_per_s"]
+    now_sizes = report["meta"].get("benchmark_sizes", {})
+    base_sizes = baseline["meta"].get("benchmark_sizes", {})
+    failures = 0
+    for name, size_key in _GATED_METRICS:
+        base = baseline["metrics"].get(name)
+        if base is None:
+            print(f"  skip {name}: not in baseline")
+            continue
+        if now_sizes.get(size_key) != base_sizes.get(size_key):
+            print(
+                f"  skip {name}: benchmark size differs "
+                f"({now_sizes.get(size_key)} vs baseline {base_sizes.get(size_key)})"
+            )
+            continue
+        now_norm = report["metrics"][name] / cal_now
+        base_norm = base / cal_base
+        ratio = now_norm / base_norm
+        verdict = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        print(
+            f"  {verdict:10s} {name}: {ratio:.2f}x of baseline "
+            f"(normalized; raw {report['metrics'][name]:,.0f} vs {base:,.0f})"
+        )
+    base_cpus = baseline["meta"].get("cpu_count") or 1
+    now_cpus = os.cpu_count() or 1
+    if base_cpus > 1 and now_cpus > 1:
+        base_speedup = baseline["metrics"].get("sweep_parallel_speedup", 1.0)
+        now_speedup = report["metrics"]["sweep_parallel_speedup"]
+        ok = now_speedup >= base_speedup * (1.0 - threshold)
+        if not ok:
+            failures += 1
+        print(
+            f"  {'ok' if ok else 'REGRESSION':10s} sweep_parallel_speedup: "
+            f"{now_speedup:.2f}x vs baseline {base_speedup:.2f}x"
+        )
+    else:
+        print(
+            f"  skip sweep_parallel_speedup: needs >1 CPU on both machines "
+            f"(baseline {base_cpus}, here {now_cpus})"
+        )
+    return failures
+
+
+def compare_ref(ref: str, num_requests: int, rounds: int) -> dict:
+    """Interleaved A/B of the end-to-end benchmark: ``ref`` vs this tree."""
+    worktree = Path(tempfile.mkdtemp(prefix="repro-ab-"))
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", str(worktree), ref],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+    )
+    try:
+
+        def run_tree(tree: Path) -> dict:
+            env = dict(os.environ, PYTHONPATH=str(tree / "src"))
+            out = subprocess.run(
+                [sys.executable, "-c", _AB_CHILD, str(num_requests)],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            return json.loads(out.stdout)
+
+        ref_runs, cur_runs = [], []
+        for _ in range(rounds):
+            ref_runs.append(run_tree(worktree))
+            cur_runs.append(run_tree(REPO_ROOT))
+        speedups = [r["seconds"] / c["seconds"] for r, c in zip(ref_runs, cur_runs)]
+        outputs_match = all(
+            r["throughput_rps"] == c["throughput_rps"] and r["miss_ratio"] == c["miss_ratio"]
+            for r, c in zip(ref_runs, cur_runs)
+        )
+        return {
+            "ref": ref,
+            "num_requests": num_requests,
+            "rounds": rounds,
+            "ref_seconds": [r["seconds"] for r in ref_runs],
+            "current_seconds": [c["seconds"] for c in cur_runs],
+            "speedups": speedups,
+            "median_speedup": statistics.median(speedups),
+            "outputs_identical": outputs_match,
+            "throughput_rps": cur_runs[0]["throughput_rps"],
+            "miss_ratio": cur_runs[0]["miss_ratio"],
+        }
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", str(worktree)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline JSON and exit 1 on >threshold regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed normalized slowdown before --check fails (default 0.30)",
+    )
+    parser.add_argument("--quick", action="store_true", help="smaller sizes (CI smoke)")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="workers for the parallel sweep measurement (0 = min(4, CPUs))",
+    )
+    parser.add_argument(
+        "--compare-ref",
+        metavar="REF",
+        help="interleaved A/B of the end-to-end benchmark vs a git ref",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="A/B rounds for --compare-ref (default 3)"
+    )
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else min(4, os.cpu_count() or 1)
+
+    report = measure(quick=args.quick, jobs=jobs)
+    if args.compare_ref:
+        size = report["meta"]["benchmark_sizes"]["sim_requests"]
+        report["speedup_vs_ref"] = compare_ref(args.compare_ref, size, args.rounds)
+
+    metrics = report["metrics"]
+    print(f"perf report ({report['meta']['mode']}, {report['meta']['cpu_count']} CPUs):")
+    print(f"  engine events/s:        {metrics['engine_events_per_s']:,.0f}")
+    print(f"  sim requests/s:         {metrics['sim_requests_per_s']:,.0f}")
+    print(f"  sweep cells/s (serial): {metrics['sweep_cells_per_s_serial']:.2f}")
+    print(
+        f"  sweep speedup @{jobs} jobs: {metrics['sweep_parallel_speedup']:.2f}x "
+        f"(efficiency {metrics['sweep_parallel_efficiency']:.0%})"
+    )
+    if "speedup_vs_ref" in report:
+        ab = report["speedup_vs_ref"]
+        print(
+            f"  vs {ab['ref']}: median {ab['median_speedup']:.2f}x over {ab['rounds']} "
+            f"rounds, outputs identical: {ab['outputs_identical']}"
+        )
+
+    status = 0
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        print(f"regression check vs {args.check} (threshold {args.threshold:.0%}):")
+        failures = check(report, baseline, args.threshold)
+        if failures:
+            print(f"FAIL: {failures} metric(s) regressed beyond {args.threshold:.0%}")
+            status = 1
+        else:
+            print("PASS: no metric regressed beyond the threshold")
+
+    if args.out:
+        out = Path(args.out)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

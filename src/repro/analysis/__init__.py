@@ -13,12 +13,15 @@ from .experiments import (
     Scale,
     clear_caches,
     get_trace,
+    prefetch_cells,
     run_cell,
     run_experiment,
+    set_parallel_jobs,
 )
 from .chart import ascii_chart, experiment_chart
+from .parallel import ParallelExecutionError, default_jobs, run_many
 from .report import ExperimentResult, format_table
-from .sweep import result_row, sweep, write_csv
+from .sweep import expand_parameters, result_row, sweep, write_csv
 
 __all__ = [
     "EXPERIMENTS",
@@ -38,4 +41,10 @@ __all__ = [
     "sweep",
     "result_row",
     "write_csv",
+    "expand_parameters",
+    "run_many",
+    "default_jobs",
+    "ParallelExecutionError",
+    "prefetch_cells",
+    "set_parallel_jobs",
 ]

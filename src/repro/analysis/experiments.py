@@ -27,12 +27,10 @@ from ..cluster import (
 from ..core import POLICY_NAMES
 from ..workload import (
     Trace,
-    chess_like_trace,
+    cached_trace,
     cumulative_distributions,
-    ibm_like_trace,
     inject_hot_targets,
     locality_profile,
-    rice_like_trace,
     synthesize_trace,
 )
 from .report import ExperimentResult
@@ -46,6 +44,8 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "clear_caches",
+    "prefetch_cells",
+    "set_parallel_jobs",
 ]
 
 
@@ -86,6 +86,18 @@ _SIM_POLICIES = POLICY_NAMES  # paper order: wrr, lb, lb/gc, lard, lard/r, wrr/g
 _trace_cache: Dict[tuple, Trace] = {}
 _cell_cache: Dict[tuple, SimulationResult] = {}
 
+#: Worker-process count used by :func:`prefetch_cells` when its caller does
+#: not pass one; set per run by :func:`run_experiment` / the CLI ``--jobs``.
+_parallel_jobs = 1
+
+
+def set_parallel_jobs(jobs: Optional[int]) -> int:
+    """Set the default worker count for cell prefetching; returns the old one."""
+    global _parallel_jobs
+    previous = _parallel_jobs
+    _parallel_jobs = 1 if jobs is None else max(1, int(jobs))
+    return previous
+
 
 def clear_caches() -> None:
     """Drop memoized traces and simulation cells (mainly for tests)."""
@@ -94,20 +106,42 @@ def clear_caches() -> None:
 
 
 def get_trace(kind: str, scale: Scale) -> Trace:
-    """Memoized synthetic trace for an experiment scale."""
+    """Memoized synthetic trace for an experiment scale.
+
+    Backed by the on-disk cache of :mod:`repro.workload.memo`, so repeated
+    runs (and every CLI/benchmark process) generate each trace once per
+    machine.  Set ``REPRO_TRACE_CACHE=0`` to force regeneration.
+    """
     key = (kind, scale.trace_scale, scale.num_requests)
     trace = _trace_cache.get(key)
     if trace is None:
-        if kind == "rice":
-            trace = rice_like_trace(num_requests=scale.num_requests, scale=scale.trace_scale)
-        elif kind == "ibm":
-            trace = ibm_like_trace(num_requests=scale.num_requests, scale=scale.trace_scale)
+        if kind in ("rice", "ibm"):
+            trace = cached_trace(
+                kind, num_requests=scale.num_requests, scale=scale.trace_scale
+            )
         elif kind == "chess":
-            trace = chess_like_trace(num_requests=scale.num_requests)
+            trace = cached_trace(kind, num_requests=scale.num_requests)
         else:
             raise ValueError(f"unknown trace kind {kind!r}")
         _trace_cache[key] = trace
     return trace
+
+
+def _cell_key(
+    kind: str, policy: str, num_nodes: int, scale: Scale, config_overrides: Dict
+) -> tuple:
+    cfg_key = tuple(sorted(config_overrides.items()))
+    return (kind, policy, num_nodes, scale.trace_scale, scale.num_requests, cfg_key)
+
+
+def _cell_config(
+    policy: str, num_nodes: int, scale: Scale, config_overrides: Dict
+) -> Dict:
+    overrides = dict(config_overrides)
+    node_cache_bytes = overrides.pop("node_cache_bytes", scale.node_cache_bytes)
+    return dict(
+        policy=policy, num_nodes=num_nodes, node_cache_bytes=node_cache_bytes, **overrides
+    )
 
 
 def run_cell(
@@ -119,23 +153,55 @@ def run_cell(
     **config_overrides,
 ) -> SimulationResult:
     """Memoized single simulation run."""
-    cfg_key = tuple(sorted(config_overrides.items()))
-    key = (kind, policy, num_nodes, scale.trace_scale, scale.num_requests, cfg_key)
+    key = _cell_key(kind, policy, num_nodes, scale, config_overrides)
     result = _cell_cache.get(key)
     if result is None:
         if trace is None:
             trace = get_trace(kind, scale)
-        overrides = dict(config_overrides)
-        node_cache_bytes = overrides.pop("node_cache_bytes", scale.node_cache_bytes)
         result = run_simulation(
-            trace,
-            policy=policy,
-            num_nodes=num_nodes,
-            node_cache_bytes=node_cache_bytes,
-            **overrides,
+            trace, **_cell_config(policy, num_nodes, scale, config_overrides)
         )
         _cell_cache[key] = result
     return result
+
+
+def prefetch_cells(cells, jobs: Optional[int] = None) -> int:
+    """Populate the cell cache for many ``run_cell`` calls at once.
+
+    ``cells`` is an iterable of ``(kind, policy, num_nodes, scale,
+    config_overrides)`` tuples.  Cells already cached are skipped; the rest
+    run grouped by trace — in ``jobs`` worker processes when ``jobs > 1``
+    (default: the value installed by :func:`set_parallel_jobs`), serially
+    otherwise.  Results are identical either way; returns the number of
+    cells actually simulated.
+    """
+    jobs = _parallel_jobs if jobs is None else jobs
+    pending: Dict[tuple, tuple] = {}
+    for kind, policy, num_nodes, scale, config_overrides in cells:
+        key = _cell_key(kind, policy, num_nodes, scale, config_overrides)
+        if key in _cell_cache or key in pending:
+            continue
+        pending[key] = (kind, scale, _cell_config(policy, num_nodes, scale, config_overrides))
+    if not pending:
+        return 0
+    # Group by trace so each worker pool shares one trace (see
+    # repro.analysis.parallel's trace-sharing notes).
+    groups: Dict[tuple, List[tuple]] = {}
+    for key, (kind, scale, _config) in pending.items():
+        groups.setdefault((kind, scale.trace_scale, scale.num_requests), []).append(key)
+    for keys in groups.values():
+        kind, scale, _config = pending[keys[0]]
+        trace = get_trace(kind, scale)
+        configs = [pending[key][2] for key in keys]
+        if jobs > 1 and len(configs) > 1:
+            from .parallel import run_many
+
+            results = run_many(trace, configs, jobs=jobs)
+        else:
+            results = [run_simulation(trace, **config) for config in configs]
+        for key, result in zip(keys, results):
+            _cell_cache[key] = result
+    return len(pending)
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +275,11 @@ def fig06_ibm_cdf(scale: Scale = STANDARD) -> ExperimentResult:
 
 
 def _policy_sweep_rows(kind: str, scale: Scale, metric: Callable[[SimulationResult], float]):
+    prefetch_cells(
+        (kind, policy, n, scale, {})
+        for n in scale.cluster_sizes
+        for policy in _SIM_POLICIES
+    )
     rows = []
     for n in scale.cluster_sizes:
         row: List = [n]
@@ -432,6 +503,21 @@ CPU_MEMORY_STEPS = ((1.0, 1.0), (2.0, 1.5), (3.0, 2.0), (4.0, 3.0))
 
 
 def _cpu_scaling_rows(policies: Tuple[str, ...], scale: Scale):
+    prefetch_cells(
+        (
+            "rice",
+            policy,
+            n,
+            scale,
+            dict(
+                costs=CostModel(cpu_speed=cpu),
+                node_cache_bytes=int(scale.node_cache_bytes * mem),
+            ),
+        )
+        for n in scale.cluster_sizes
+        for policy in policies
+        for cpu, mem in CPU_MEMORY_STEPS
+    )
     rows = []
     for n in scale.cluster_sizes:
         row: List = [n]
@@ -535,6 +621,11 @@ def fig12_lard_cpu(scale: Scale = QUICK) -> ExperimentResult:
 
 
 def _disk_scaling_rows(policy: str, scale: Scale):
+    prefetch_cells(
+        ("rice", policy, n, scale, dict(disks_per_node=disks))
+        for n in scale.cluster_sizes
+        for disks in (1, 2, 3, 4)
+    )
     rows = []
     for n in scale.cluster_sizes:
         row: List = [n]
@@ -1191,14 +1282,25 @@ EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: Optional[Scale] = None) -> ExperimentResult:
-    """Run one registered experiment by id (see :data:`EXPERIMENTS`)."""
+def run_experiment(
+    experiment_id: str, scale: Optional[Scale] = None, jobs: Optional[int] = None
+) -> ExperimentResult:
+    """Run one registered experiment by id (see :data:`EXPERIMENTS`).
+
+    ``jobs > 1`` lets sweep-style experiments simulate their independent
+    cells in that many worker processes (results are identical; see
+    :mod:`repro.analysis.parallel`).
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
         ) from None
-    if scale is None:
-        return fn()
-    return fn(scale)
+    if jobs is None:
+        return fn() if scale is None else fn(scale)
+    previous = set_parallel_jobs(jobs)
+    try:
+        return fn() if scale is None else fn(scale)
+    finally:
+        set_parallel_jobs(previous)

@@ -21,12 +21,12 @@ from __future__ import annotations
 import csv
 import itertools
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import SimulationResult, run_simulation
 from ..workload.trace import Trace
 
-__all__ = ["sweep", "result_row", "write_csv"]
+__all__ = ["sweep", "result_row", "write_csv", "expand_parameters"]
 
 #: Flat fields exported for every simulation result.
 _RESULT_FIELDS = (
@@ -56,13 +56,14 @@ def result_row(result: SimulationResult, parameters: Dict[str, Any]) -> Dict[str
     return row
 
 
-def sweep(trace: Trace, **parameters: Union[Any, List[Any]]) -> List[Dict[str, Any]]:
-    """Simulate the cross product of the given parameter lists.
+def expand_parameters(
+    parameters: Dict[str, Union[Any, List[Any]]],
+) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+    """Normalize sweep kwargs into (sorted names, cross-product combinations).
 
-    Each keyword is a :class:`~repro.cluster.ClusterConfig` field; values
-    that are lists (or tuples) are swept, scalars are held fixed.  Returns
-    one flat row dict per combination, in deterministic (sorted-key,
-    left-to-right) order.
+    Values that are lists (or tuples) are swept, scalars are held fixed.
+    The combination order is deterministic: sorted parameter names,
+    left-to-right product.
     """
     if not parameters:
         raise ValueError("nothing to sweep: pass at least one parameter")
@@ -73,24 +74,72 @@ def sweep(trace: Trace, **parameters: Union[Any, List[Any]]) -> List[Dict[str, A
         else [parameters[name]]
         for name in names
     ]
-    rows = []
-    for combination in itertools.product(*value_lists):
-        config = dict(zip(names, combination))
-        result = run_simulation(trace, **config)
-        rows.append(result_row(result, config))
-    return rows
+    return names, list(itertools.product(*value_lists))
 
 
-def write_csv(rows: Sequence[Dict[str, Any]], path: Union[str, Path]) -> Path:
-    """Write sweep rows to a CSV file (columns = union of keys, sorted)."""
+def sweep(
+    trace: Trace,
+    jobs: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+    **parameters: Union[Any, List[Any]],
+) -> List[Dict[str, Any]]:
+    """Simulate the cross product of the given parameter lists.
+
+    Each keyword is a :class:`~repro.cluster.ClusterConfig` field; values
+    that are lists (or tuples) are swept, scalars are held fixed.  Returns
+    one flat row dict per combination, in deterministic (sorted-key,
+    left-to-right) order.
+
+    ``jobs`` fans the combinations out over worker processes (see
+    :mod:`repro.analysis.parallel`); rows are identical to a serial run in
+    content and order.  ``progress(done, total)`` is called as cells
+    complete.
+    """
+    names, combinations = expand_parameters(parameters)
+    configs = [dict(zip(names, combination)) for combination in combinations]
+    if jobs is None or jobs != 1:
+        from .parallel import run_many
+
+        results = run_many(trace, configs, jobs=jobs, progress=progress)
+    else:
+        results = []
+        for index, config in enumerate(configs):
+            results.append(run_simulation(trace, **config))
+            if progress is not None:
+                progress(index + 1, len(configs))
+    return [result_row(result, config) for result, config in zip(results, configs)]
+
+
+def write_csv(
+    rows: Sequence[Dict[str, Any]],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".10g",
+) -> Path:
+    """Write sweep rows to a CSV file.
+
+    ``columns`` fixes the column order explicitly (keys outside it are
+    dropped, rows missing one leave the cell empty); the default is the
+    sorted union of all row keys.  Floats are rendered with
+    ``float_format`` so repeated runs diff cleanly — ``.10g`` keeps full
+    double precision for round-trips while normalizing representation.
+    """
     if not rows:
         raise ValueError("no rows to write")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    columns: List[str] = sorted({key for row in rows for key in row})
+    if columns is None:
+        columns = sorted({key for row in rows for key in row})
+    else:
+        columns = list(columns)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
         writer.writeheader()
         for row in rows:
-            writer.writerow(row)
+            writer.writerow(
+                {
+                    key: format(value, float_format) if type(value) is float else value
+                    for key, value in row.items()
+                }
+            )
     return path

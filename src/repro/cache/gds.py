@@ -53,6 +53,8 @@ class GDSCache(Cache):
     ) -> None:
         super().__init__(capacity_bytes, name=name)
         self._cost_fn = cost_fn
+        #: True for GDS(1): lets the hit path skip the cost-function call.
+        self._unit_cost = cost_fn is _unit_cost
         self._inflation = 0.0  # the running L value
         self._credit: Dict[Hashable, float] = {}
         self._heap: List[Tuple[float, int, Hashable]] = []
@@ -98,9 +100,17 @@ class GDSCache(Cache):
         heapq.heappush(self._heap, (credit, self._seq, target))
 
     def _on_hit(self, target: Hashable) -> None:
-        size = self.size_of(target)
-        assert size is not None
-        self._push(target, self._fresh_credit(target, size))
+        size = self._sizes[target]
+        if self._unit_cost:
+            # Inlined _fresh_credit for the default GDS(1) variant: this
+            # runs once per cache hit, the simulator's most frequent
+            # cache operation.
+            credit = self._inflation + (1.0 / size if size > 0 else 1.0)
+        else:
+            credit = self._fresh_credit(target, size)
+        self._seq += 1
+        self._credit[target] = credit
+        heapq.heappush(self._heap, (credit, self._seq, target))
 
     def _on_insert(self, target: Hashable, size: int) -> None:
         self._push(target, self._fresh_credit(target, size))

@@ -3,10 +3,12 @@
 Usage::
 
     lard-repro list
-    lard-repro run fig7 [--scale quick|standard|full|smoke]
+    lard-repro run fig7 [--scale quick|standard|full|smoke] [--jobs N]
     lard-repro run all --scale quick
+    lard-repro run fig7 --profile fig7.pstats
     lard-repro trace rice [--requests N] [--scale-factor F]
     lard-repro simulate --policy lard/r --nodes 8 [--trace rice] [...]
+    lard-repro simulate --profile sim.pstats
 
 (`python -m repro` is equivalent.)
 """
@@ -55,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render numeric sweeps as ASCII charts",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate independent experiment cells in up to N worker "
+        "processes (0 = one per CPU; results are identical to --jobs 1)",
+    )
+    run.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        help="profile the experiment under cProfile and dump stats to this file",
+    )
 
     trace = sub.add_parser("trace", help="describe a synthetic trace")
     trace.add_argument("kind", choices=sorted(_TRACES))
@@ -75,13 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--disks", type=int, default=1)
     sim.add_argument("--cache", choices=("gds", "lru", "lru-unbounded", "lfu"), default="gds")
     sim.add_argument("--cpu-speed", type=float, default=1.0)
+    sim.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        help="profile the simulation under cProfile and dump stats to this file",
+    )
     return parser
 
 
 def _make_trace(kind: str, requests: int, scale_factor: float):
+    from .workload import cached_trace
+
     if kind == "chess":
-        return chess_like_trace(num_requests=requests)
-    return _TRACES[kind](num_requests=requests, scale=scale_factor)
+        return cached_trace("chess", num_requests=requests)
+    return cached_trace(kind, num_requests=requests, scale=scale_factor)
 
 
 def _cmd_list() -> int:
@@ -92,21 +114,43 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, scale_name: str, chart: bool = False) -> int:
+def _cmd_run(
+    experiment: str,
+    scale_name: str,
+    chart: bool = False,
+    jobs: int = 1,
+    profile: Optional[str] = None,
+) -> int:
     from .analysis import experiment_chart
 
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
     scale = _SCALES[scale_name]
     ids = list(EXPERIMENTS) if experiment == "all" else [experiment]
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     failed = False
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, scale)
-        print(result.render())
-        if chart:
-            rendered = experiment_chart(result)
-            if rendered:
-                print(rendered)
-        print()
-        failed = failed or any(c.startswith("FAIL") for c in result.checks)
+    try:
+        for experiment_id in ids:
+            result = run_experiment(experiment_id, scale, jobs=jobs)
+            print(result.render())
+            if chart:
+                rendered = experiment_chart(result)
+                if rendered:
+                    print(rendered)
+            print()
+            failed = failed or any(c.startswith("FAIL") for c in result.checks)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile)
+            print(f"profile written to {profile} (inspect with: python -m pstats {profile})")
     return 1 if failed else 0
 
 
@@ -134,8 +178,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         disks_per_node=args.disks,
         cache_policy=args.cache,
         costs=CostModel(cpu_speed=args.cpu_speed),
+        profile=args.profile,
     )
     print(result.summary())
+    if args.profile:
+        print(f"profile written to {args.profile} (inspect with: python -m pstats {args.profile})")
     print(
         f"disk reads: {result.disk_reads} (+{result.coalesced_reads} coalesced); "
         f"cpu busy {result.cpu_busy_fraction:.0%}, disk busy {result.disk_busy_fraction:.0%}"
@@ -149,7 +196,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment, args.scale, chart=args.chart)
+            return _cmd_run(
+                args.experiment,
+                args.scale,
+                chart=args.chart,
+                jobs=args.jobs,
+                profile=args.profile,
+            )
         if args.command == "trace":
             return _cmd_trace(args.kind, args.requests, args.scale_factor)
         if args.command == "simulate":

@@ -80,6 +80,14 @@ class FrontEnd:
         self.persistent_policy = persistent_policy
         self._targets = trace.targets
         self._sizes = trace.sizes_by_target
+        # Plain-list views of the trace: indexing a numpy array yields a
+        # numpy scalar that must be unboxed per request, which dominates
+        # the admission loop on long traces.
+        self._target_list = trace.targets.tolist()
+        self._size_list = trace.sizes_by_target.tolist()
+        # The LB/GC front-end cache model is the only policy with
+        # per-request hit predictions; resolve the hook once.
+        self._take_prediction = getattr(policy, "take_prediction", None)
         self._next = 0
         self.in_flight = 0
         self.completed = 0
@@ -140,23 +148,44 @@ class FrontEnd:
 
     def _take_batch(self) -> List[Tuple[int, int]]:
         """Next connection's requests: up to requests_per_connection."""
-        n = len(self._targets)
+        targets = self._target_list
+        sizes = self._size_list
+        n = len(targets)
         batch: List[Tuple[int, int]] = []
         while self._next < n and len(batch) < self.requests_per_connection:
-            target = int(self._targets[self._next])
-            batch.append((target, int(self._sizes[target])))
+            target = targets[self._next]
+            batch.append((target, sizes[target]))
             self._next += 1
         return batch
 
     def _admit(self) -> None:
-        n = len(self._targets)
+        targets = self._target_list
+        n = len(targets)
+        if self.requests_per_connection == 1:
+            # Fast path for the paper's HTTP/1.0 evaluation: one request
+            # per connection, so no batch list is needed.
+            sizes = self._size_list
+            engine = self.engine
+            choose = self.policy.choose
+            take = self._take_prediction
+            while self.in_flight < self.max_in_flight and self._next < n:
+                target = targets[self._next]
+                self._next += 1
+                size = sizes[target]
+                node_id = choose(target, size, now=engine.now)
+                hit_hint = take() if take is not None else None
+                self._attach(node_id)
+                self.connections += 1
+                self.in_flight += 1
+                engine.process(self._single_request(target, size, node_id, hit_hint))
+            return
         while self.in_flight < self.max_in_flight and self._next < n:
             batch = self._take_batch()
             target, size = batch[0]
             now = self.engine.now
             node_id = self.policy.choose(target, size, now=now)
             # LB/GC's idealized front-end cache model dictates hit/miss.
-            take = getattr(self.policy, "take_prediction", None)
+            take = self._take_prediction
             hit_hint = take() if take is not None else None
             self._attach(node_id)
             self.connections += 1
@@ -194,6 +223,16 @@ class FrontEnd:
         self.completed += 1
 
     # -- the connection process ----------------------------------------------------
+
+    def _single_request(self, target: int, size: int, node_id: int, hit_hint):
+        """One-request connection (requests_per_connection == 1 fast path)."""
+        epoch = self._epoch[node_id]
+        start = self.engine.now
+        yield from self.nodes[node_id].serve(target, size, hit_hint=hit_hint)
+        self._account_request(node_id, epoch, start)
+        self._detach(node_id, epoch)
+        self.in_flight -= 1
+        self._admit()
 
     def _connection(self, batch: List[Tuple[int, int]], node_id: int, hit_hint):
         epoch = self._epoch[node_id]

@@ -57,6 +57,11 @@ class BackendNode:
         self.cache = cache
         self.gms = gms
         self.coalesce_reads = coalesce_reads
+        # Hot-path constants: the cost model is immutable, so per-request
+        # method calls into it can be folded into plain arithmetic here.
+        self._conn_time = costs.connection_time()
+        self._teardown_time = costs.teardown_time()
+        self._transmit_per_unit = costs.transmit_s_per_512b / costs.cpu_speed
         self.cpu = Resource(engine, capacity=1, name=f"cpu[{node_id}]")
         self.disks = [
             Resource(engine, capacity=1, name=f"disk[{node_id}.{d}]")
@@ -109,7 +114,7 @@ class BackendNode:
         HTTP/1.1 discussion).
         """
         if establish:
-            yield Service(self.cpu, self.costs.connection_time())
+            yield Service(self.cpu, self._conn_time)
         if hit_hint is not None:
             yield from self._fetch_hinted(target, size, hit_hint)
         elif self.gms is not None:
@@ -117,14 +122,14 @@ class BackendNode:
         else:
             yield from self._fetch_local(target, size)
         if teardown:
-            yield Service(self.cpu, self.costs.teardown_time())
+            yield Service(self.cpu, self._teardown_time)
         self.requests_served += 1
         self.bytes_served += size
 
     def _fetch_hinted(self, target: Hashable, size: int, hit: bool):
         if hit:
             self.cache_hits += 1
-            yield Service(self.cpu, self.costs.transmit_time(size))
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
             return
         if (yield from self._serve_inflight(target, size)):
             return
@@ -132,12 +137,13 @@ class BackendNode:
         yield from self._disk_read(target, size)
 
     def _fetch_local(self, target: Hashable, size: int):
-        if (yield from self._serve_inflight(target, size)):
+        pending = self._pending.get(target)
+        if pending is not None:
+            yield from self._serve_inflight_pending(pending, target, size)
             return
-        assert self.cache is not None
         if self.cache.access(target, size):
             self.cache_hits += 1
-            yield Service(self.cpu, self.costs.transmit_time(size))
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
             return
         self.cache_misses += 1
         yield from self._disk_read(target, size)
@@ -153,14 +159,18 @@ class BackendNode:
         pending = self._pending.get(target)
         if pending is None:
             return False
+        yield from self._serve_inflight_pending(pending, target, size)
+        return True
+
+    def _serve_inflight_pending(self, pending: SimEvent, target: Hashable, size: int):
+        """Data path for a request that found its file already being read."""
         self.cache_misses += 1
         if self.coalesce_reads:
             self.coalesced_reads += 1
             yield Wait(pending)
-            yield Service(self.cpu, self.costs.transmit_time(size))
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
         else:
             yield from self._chunked_read(target, size)
-        return True
 
     def _disk_read(self, target: Hashable, size: int):
         """First read of a file: registers the in-flight marker."""
@@ -174,9 +184,11 @@ class BackendNode:
         """Chunked read from disk, interleaving transmit per block."""
         self.disk_reads += 1
         disk = self.disk_for(target)
+        cpu = self.cpu
+        per_unit = self._transmit_per_unit
         for chunk_bytes, disk_time in self.costs.disk_chunks(size):
             yield Service(disk, disk_time)
-            yield Service(self.cpu, self.costs.transmit_time(chunk_bytes))
+            yield Service(cpu, ((chunk_bytes + 511) // 512) * per_unit)
 
     def _fetch_gms(self, target: Hashable, size: int):
         assert self.gms is not None

@@ -16,7 +16,8 @@ order of request frequency in the trace" — see :func:`stripe_by_frequency`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -244,9 +245,32 @@ class ClusterSimulator:
         )
 
 
-def run_simulation(trace: Trace, config: Optional[ClusterConfig] = None, **overrides) -> SimulationResult:
-    """Convenience wrapper: build a config (plus overrides) and run it."""
+def run_simulation(
+    trace: Trace,
+    config: Optional[ClusterConfig] = None,
+    profile: Optional[Union[str, Path]] = None,
+    **overrides,
+) -> SimulationResult:
+    """Convenience wrapper: build a config (plus overrides) and run it.
+
+    ``profile`` runs the simulation under :mod:`cProfile` and dumps the
+    stats to that path (inspect with ``python -m pstats`` or snakeviz);
+    construction and trace generation are excluded so the profile shows
+    the simulation hot path only.
+    """
     base = config if config is not None else ClusterConfig()
     if overrides:
         base = replace(base, **overrides)
-    return ClusterSimulator(trace, base).run()
+    simulator = ClusterSimulator(trace, base)
+    if profile is None:
+        return simulator.run()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = simulator.run()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(profile))
+    return result

@@ -79,6 +79,10 @@ class Policy(abc.ABC):
         self.t_high = t_high
         self.loads: List[int] = [0] * num_nodes
         self._alive: List[bool] = [True] * num_nodes
+        #: Bumped on every failure/join; lets strategies cache
+        #: membership-derived state and revalidate it in O(1).
+        self.membership_epoch = 0
+        self._dead_count = 0
         self.dispatches = 0
         self.completions = 0
 
@@ -137,6 +141,8 @@ class Policy(abc.ABC):
         self._check_alive(node)
         self._alive[node] = False
         self.loads[node] = 0
+        self._dead_count += 1
+        self.membership_epoch += 1
         if self.alive_count == 0:
             raise PolicyError("last back-end failed; cluster is empty")
 
@@ -148,6 +154,8 @@ class Policy(abc.ABC):
             raise PolicyError(f"node {node} is already alive")
         self._alive[node] = True
         self.loads[node] = 0
+        self._dead_count -= 1
+        self.membership_epoch += 1
 
     # -- helpers for subclasses -------------------------------------------------
 
@@ -159,12 +167,16 @@ class Policy(abc.ABC):
 
     def least_loaded_node(self) -> int:
         """Alive node with the fewest active connections (lowest id wins ties)."""
+        loads = self.loads
+        if not self._dead_count:
+            # min() returns the first minimal element, so lowest id wins.
+            return min(range(self.num_nodes), key=loads.__getitem__)
         best = -1
         best_load = None
         for node in range(self.num_nodes):
             if not self._alive[node]:
                 continue
-            load = self.loads[node]
+            load = loads[node]
             if best_load is None or load < best_load:
                 best, best_load = node, load
         if best < 0:  # pragma: no cover - guarded by failure handling

@@ -45,10 +45,16 @@ DEFAULT_K_SECONDS = 20.0
 
 @dataclass
 class _ServerSet:
-    """Replica set plus the time it last changed."""
+    """Replica set plus the time it last changed.
+
+    ``epoch`` records the cluster-membership epoch the set was last
+    validated against, so the per-request alive filter only runs after an
+    actual failure/join instead of on every request.
+    """
 
     nodes: Set[int] = field(default_factory=set)
     last_mod: float = 0.0
+    epoch: int = 0
 
 
 class LARDReplication(Policy):
@@ -89,22 +95,30 @@ class LARDReplication(Policy):
 
     def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
         """The Figure 3 decision: serve from the replica set, growing it under imbalance and shrinking it after K quiet seconds."""
+        epoch = self.membership_epoch
         entry = self._server_sets.get(target)
-        if entry is not None:
+        if entry is not None and entry.epoch != epoch:
             entry.nodes = {n for n in entry.nodes if self._alive[n]}
+            entry.epoch = epoch
             if not entry.nodes:
                 entry = None
         if entry is None:
             node = self.least_loaded_node()
-            entry = _ServerSet(nodes={node}, last_mod=now)
+            entry = _ServerSet(nodes={node}, last_mod=now, epoch=epoch)
             self._store(target, entry)
             self.assignments += 1
             return node
         self._server_sets.move_to_end(target)
-        node = min(entry.nodes, key=lambda n: (self.loads[n], n))
-        most = max(entry.nodes, key=lambda n: (self.loads[n], -n))
+        loads = self.loads
+        nodes = entry.nodes
+        if len(nodes) == 1:
+            # Dominant case: an unreplicated target needs no min/max scan.
+            node = most = next(iter(nodes))
+        else:
+            node = min(nodes, key=lambda n: (loads[n], n))
+            most = max(nodes, key=lambda n: (loads[n], -n))
         changed = False
-        load = self.loads[node]
+        load = loads[node]
         if (load > self.t_high and self.has_node_below(self.t_low)) or (
             load >= 2 * self.t_high
         ):
@@ -119,7 +133,7 @@ class LARDReplication(Policy):
             self.shrinks += 1
             changed = True
             if node == most:
-                node = min(entry.nodes, key=lambda n: (self.loads[n], n))
+                node = min(entry.nodes, key=lambda n: (loads[n], n))
         if changed:
             entry.last_mod = now
         return node

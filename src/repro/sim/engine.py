@@ -7,8 +7,12 @@ of any web-server concepts so that it can be tested (and reused) on its own.
 The engine follows the classic event-list design:
 
 * :class:`Engine` owns a simulated clock and a priority queue of pending
-  events, each a ``(time, sequence, callback)`` triple.  Ties in time are
-  broken by insertion order, which makes runs fully deterministic.
+  events, each a ``(time, sequence, callback, args)`` tuple.  Ties in time
+  are broken by insertion order, which makes runs fully deterministic.
+  Storing the argument tuple in the queue entry (instead of wrapping the
+  callback in a closure) keeps :meth:`Engine.schedule` allocation-free on
+  the hot path — a simulation dispatches one of these per event, so a
+  per-event lambda is pure overhead.
 * :class:`Process` wraps a Python generator.  The generator *yields* command
   objects (:class:`Delay`, :class:`Service`, :class:`Wait`, :class:`Acquire`,
   :class:`Release` from :mod:`repro.sim.resources`) and is resumed by the
@@ -25,6 +29,7 @@ Example
 ...     log.append(eng.now)
 >>> _ = eng.process(proc())
 >>> eng.run()
+2.0
 >>> log
 [2.0]
 """
@@ -35,6 +40,8 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 __all__ = ["Engine", "Process", "Delay", "SimulationError"]
+
+_EMPTY_ARGS: Tuple = ()
 
 
 class SimulationError(RuntimeError):
@@ -77,7 +84,7 @@ class Process:
         ``None``.
     """
 
-    __slots__ = ("engine", "_gen", "finished", "value", "name")
+    __slots__ = ("engine", "_gen", "finished", "value", "name", "_resume")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
         self.engine = engine
@@ -85,27 +92,36 @@ class Process:
         self.finished = False
         self.value: Any = None
         self.name = name
+        # The bound method is scheduled once per event; binding it eagerly
+        # avoids re-creating a method object on every wakeup.
+        self._resume = self._step
 
     def _step(self, send_value: Any = None) -> None:
         """Advance the generator by one command and arm the next wakeup."""
-        engine = self.engine
         try:
             command = self._gen.send(send_value)
         except StopIteration as stop:
             self.finished = True
             self.value = stop.value
             return
-        if isinstance(command, Delay):
-            engine.schedule(command.duration, self._step)
-        elif hasattr(command, "_activate"):
-            # Resource-style commands (Service/Acquire/Release/Wait) register
-            # themselves and invoke ``process._step(result)`` when done.
+        # Exact-type check instead of isinstance: Delay is final in
+        # practice and this is the engine's innermost dispatch.
+        if command.__class__ is Delay:
+            self.engine.schedule(command.duration, self._resume)
+            return
+        try:
+            # Resource-style commands (Service/Acquire/Release/Wait)
+            # register themselves and invoke ``process._step(result)``
+            # when done.  The direct call avoids the bound-method
+            # allocation a getattr-then-call would pay per event.
             command._activate(self)
-        else:
+        except AttributeError:
+            if hasattr(command, "_activate"):
+                raise  # genuine AttributeError from inside the command
             raise SimulationError(
                 f"process {self.name or self._gen!r} yielded an unknown "
                 f"command: {command!r}"
-            )
+            ) from None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "active"
@@ -115,15 +131,16 @@ class Process:
 class Engine:
     """Deterministic event-list simulation engine.
 
-    The clock starts at 0.0 and only moves forward.  All scheduling is done
-    in relative time via :meth:`schedule`; absolute-time scheduling is
-    intentionally not offered because relative scheduling composes better
-    and cannot create events in the past.
+    The clock starts at 0.0 and only moves forward.  Most scheduling is
+    done in relative time via :meth:`schedule`, which composes well and
+    cannot create events in the past; :meth:`schedule_at` offers absolute
+    time with an explicit past-guard for callers that already hold a
+    deadline.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[..., None], Tuple]] = []
         self._seq = 0
         self._stopped = False
         self.events_dispatched = 0
@@ -135,17 +152,30 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        if args:
-            heapq.heappush(self._queue, (self.now + delay, self._seq, lambda: callback(*args)))
-        else:
-            heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``when``.
+
+        ``when`` may equal the current clock (the event runs after all
+        events already queued for this instant, preserving insertion
+        order); scheduling strictly into the past raises
+        :class:`SimulationError`.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, callback, args))
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register a generator as a process, starting it at the current time."""
         proc = Process(self, gen, name=name)
         # Start the process via the event queue (not synchronously) so that
         # creation order and execution order are both deterministic.
-        self.schedule(0.0, proc._step)
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now, self._seq, proc._resume, _EMPTY_ARGS))
         return proc
 
     # -- execution ----------------------------------------------------------
@@ -159,20 +189,31 @@ class Engine:
         """
         self._stopped = False
         queue = self._queue
-        while queue and not self._stopped:
-            when, _seq, callback = queue[0]
-            if until is not None and when > until:
-                self.now = until
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            if until is None:
+                # Hot loop: no peek, no bound checks — schedule/schedule_at
+                # guarantee event times are never in the past.
+                while queue and not self._stopped:
+                    when, _seq, callback, args = pop(queue)
+                    self.now = when
+                    dispatched += 1
+                    callback(*args)
                 return self.now
-            heapq.heappop(queue)
-            if when < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue time went backwards")
-            self.now = when
-            self.events_dispatched += 1
-            callback()
-        if until is not None and self.now < until and not self._stopped:
-            self.now = until
-        return self.now
+            while queue and not self._stopped:
+                if queue[0][0] > until:
+                    self.now = until
+                    return self.now
+                when, _seq, callback, args = pop(queue)
+                self.now = when
+                dispatched += 1
+                callback(*args)
+            if self.now < until and not self._stopped:
+                self.now = until
+            return self.now
+        finally:
+            self.events_dispatched += dispatched
 
     def stop(self) -> None:
         """Halt :meth:`run` after the currently dispatching event returns."""

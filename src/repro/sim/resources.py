@@ -53,6 +53,9 @@ class Resource:
         self._busy_integral = 0.0
         self._last_change = engine.now
         self.jobs_served = 0
+        # Pre-bound completion callback: _finish is scheduled once per job,
+        # so re-binding the method per call would allocate on the hot path.
+        self._finish_cb = self._finish
 
     # -- accounting ---------------------------------------------------------
 
@@ -86,28 +89,50 @@ class Resource:
     # -- mechanics ----------------------------------------------------------
 
     def _enqueue(self, process: Process, duration: Optional[float]) -> None:
+        # _start's body is inlined for the uncontended case: enqueue and
+        # finish are the two most frequent operations in a simulation.
         if self._busy < self.capacity:
-            self._start(process, duration)
+            engine = self.engine
+            now = engine.now
+            self._busy_integral += self._busy * (now - self._last_change)
+            self._last_change = now
+            self._busy += 1
+            if duration is None:
+                # Acquire-style hold: resume the process immediately; it
+                # will yield Release(resource) later.
+                engine.schedule(0.0, process._resume)
+            else:
+                engine.schedule(duration, self._finish_cb, process)
         else:
             self._waiting.append((process, duration))
 
     def _start(self, process: Process, duration: Optional[float]) -> None:
-        self._account()
+        now = self.engine.now
+        self._busy_integral += self._busy * (now - self._last_change)
+        self._last_change = now
         self._busy += 1
         if duration is None:
             # Acquire-style hold: resume the process immediately; it will
             # yield Release(resource) later.
-            self.engine.schedule(0.0, process._step)
+            self.engine.schedule(0.0, process._resume)
         else:
-            self.engine.schedule(duration, self._finish, process)
+            self.engine.schedule(duration, self._finish_cb, process)
 
     def _finish(self, process: Process) -> None:
         self.jobs_served += 1
-        self._release_server()
+        now = self.engine.now
+        self._busy_integral += self._busy * (now - self._last_change)
+        self._last_change = now
+        self._busy -= 1
+        if self._waiting and self._busy < self.capacity:
+            waiter, duration = self._waiting.popleft()
+            self._start(waiter, duration)
         process._step()
 
     def _release_server(self) -> None:
-        self._account()
+        now = self.engine.now
+        self._busy_integral += self._busy * (now - self._last_change)
+        self._last_change = now
         self._busy -= 1
         if self._busy < 0:  # pragma: no cover - defensive
             raise SimulationError(f"resource {self.name!r} released below zero")
@@ -131,7 +156,7 @@ class Service:
         if duration < 0:
             raise SimulationError(f"negative service duration: {duration!r}")
         self.resource = resource
-        self.duration = float(duration)
+        self.duration = duration
 
     def _activate(self, process: Process) -> None:
         self.resource._enqueue(process, self.duration)
@@ -159,7 +184,7 @@ class Release:
 
     def _activate(self, process: Process) -> None:
         self.resource._release_server()
-        self.resource.engine.schedule(0.0, process._step)
+        self.resource.engine.schedule(0.0, process._resume)
 
 
 class SimEvent:
@@ -185,7 +210,7 @@ class SimEvent:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            self.engine.schedule(0.0, process._step, value)
+            self.engine.schedule(0.0, process._resume, value)
 
     @property
     def waiter_count(self) -> int:
@@ -206,6 +231,6 @@ class Wait:
 
     def _activate(self, process: Process) -> None:
         if self.event.triggered:
-            self.event.engine.schedule(0.0, process._step, self.event.value)
+            self.event.engine.schedule(0.0, process._resume, self.event.value)
         else:
             self.event._waiters.append(process)

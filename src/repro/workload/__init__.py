@@ -9,6 +9,7 @@ come from :func:`inject_hot_targets`.
 
 from .hot import inject_hot_targets
 from .io import load_trace, save_trace
+from .memo import cached_trace, clear_trace_cache, trace_cache_dir, trace_cache_key
 from .logparse import LogParseStats, parse_common_log, tokenize_entries
 from .stats import (
     TraceCDF,
@@ -38,6 +39,10 @@ __all__ = [
     "inject_hot_targets",
     "save_trace",
     "load_trace",
+    "cached_trace",
+    "clear_trace_cache",
+    "trace_cache_dir",
+    "trace_cache_key",
     "parse_common_log",
     "tokenize_entries",
     "LogParseStats",

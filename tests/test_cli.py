@@ -84,3 +84,42 @@ class TestCommands:
         assert "Figure 7" in out
         assert "o wrr" in out  # chart legend
         assert code in (0, 1)
+
+
+class TestPerfFlags:
+    def test_run_with_jobs(self, capsys):
+        code = main(["run", "fig8", "--scale", "smoke", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert code in (0, 1)
+
+    def test_run_with_profile(self, capsys, tmp_path):
+        pstats_path = tmp_path / "fig5.pstats"
+        code = main(["run", "fig5", "--scale", "smoke", "--profile", str(pstats_path)])
+        assert code in (0, 1)
+        assert pstats_path.exists()
+        import pstats
+
+        stats = pstats.Stats(str(pstats_path))
+        assert stats.total_calls > 0
+
+    def test_simulate_with_profile(self, capsys, tmp_path):
+        pstats_path = tmp_path / "sim.pstats"
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "wrr",
+                "--nodes",
+                "2",
+                "--requests",
+                "2000",
+                "--scale-factor",
+                "0.05",
+                "--profile",
+                str(pstats_path),
+            ]
+        )
+        assert code == 0
+        assert pstats_path.exists()
+        assert "profile written" in capsys.readouterr().out

@@ -163,3 +163,27 @@ class TestConfig:
         result = run_simulation(trace, policy="lard", num_nodes=2,
                                 node_cache_bytes=CACHE, t_low=5, t_high=15)
         assert result.num_requests == 500
+
+    def test_profile_hook_writes_stats(self, tmp_path):
+        trace = _trace(500)
+        out = tmp_path / "run.pstats"
+        result = run_simulation(
+            trace, policy="wrr", num_nodes=2, node_cache_bytes=CACHE, profile=out
+        )
+        assert result.num_requests == 500
+        import pstats
+
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_profile_result_identical_to_plain_run(self, tmp_path):
+        trace = _trace(500)
+        plain = run_simulation(trace, policy="wrr", num_nodes=2, node_cache_bytes=CACHE)
+        profiled = run_simulation(
+            trace,
+            policy="wrr",
+            num_nodes=2,
+            node_cache_bytes=CACHE,
+            profile=tmp_path / "run.pstats",
+        )
+        assert plain == profiled

@@ -197,3 +197,61 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+class TestScheduleAt:
+    def test_runs_at_absolute_time(self):
+        eng = Engine()
+        log = []
+        eng.schedule_at(2.5, lambda: log.append(eng.now))
+        eng.run()
+        assert log == [2.5]
+
+    def test_past_rejected(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: eng.schedule_at(0.5, lambda: None))
+        with pytest.raises(SimulationError, match="past"):
+            eng.run()
+
+    def test_now_is_legal_and_runs_after_queued_same_time_events(self):
+        eng = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            eng.schedule_at(eng.now, lambda: log.append("at-now"))
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, lambda: log.append("second"))
+        eng.run()
+        # The schedule_at(now) event was inserted after 'second' was already
+        # queued for t=1.0, so insertion order places it last.
+        assert log == ["first", "second", "at-now"]
+
+    def test_interleaved_schedule_and_schedule_at_tie_break_by_insertion(self):
+        eng = Engine()
+        log = []
+        eng.schedule(3.0, lambda: log.append("rel"))
+        eng.schedule_at(3.0, lambda: log.append("abs"))
+        eng.schedule(3.0, lambda: log.append("rel2"))
+        eng.run()
+        assert log == ["rel", "abs", "rel2"]
+
+    def test_schedule_at_with_args(self):
+        eng = Engine()
+        log = []
+        eng.schedule_at(1.0, lambda a, b: log.append((a, b)), 1, "x")
+        eng.run()
+        assert log == [(1, "x")]
+
+    def test_mixed_determinism_two_identical_runs(self):
+        def build():
+            eng = Engine()
+            log = []
+            for i in range(5):
+                eng.schedule(1.0 + (i % 2), lambda i=i: log.append(("rel", i)))
+                eng.schedule_at(1.0 + (i % 3), lambda i=i: log.append(("abs", i)))
+            eng.run()
+            return log
+
+        assert build() == build()

@@ -133,3 +133,41 @@ class TestWriteCsv:
     def test_empty_rows_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             write_csv([], tmp_path / "x.csv")
+
+
+class TestWriteCsvFormatting:
+    def _rows(self):
+        return [
+            {"policy": "wrr", "num_nodes": 2, "throughput_rps": 123.456789012345},
+            {"policy": "lard", "num_nodes": 4, "throughput_rps": 0.1 + 0.2},
+        ]
+
+    def test_explicit_column_order(self, tmp_path):
+        path = write_csv(
+            self._rows(), tmp_path / "out.csv", columns=["throughput_rps", "policy"]
+        )
+        header = path.read_text().splitlines()[0]
+        assert header == "throughput_rps,policy"  # num_nodes dropped, order kept
+
+    def test_missing_column_left_empty(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        path = write_csv(rows, tmp_path / "out.csv", columns=["a", "b"])
+        assert path.read_text().splitlines() == ["a,b", "1,2", "3,"]
+
+    def test_floats_formatted_stably(self, tmp_path):
+        path = write_csv(self._rows(), tmp_path / "out.csv")
+        body = path.read_text()
+        # .10g normalizes float repr: 0.1 + 0.2 prints as 0.3, not 0.30000000000000004.
+        assert "0.30000000000000004" not in body
+        assert "0.3" in body
+
+    def test_format_override(self, tmp_path):
+        path = write_csv(self._rows(), tmp_path / "out.csv", float_format=".2f")
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[0]["throughput_rps"] == "123.46"
+
+    def test_identical_rows_identical_bytes(self, tmp_path):
+        a = write_csv(self._rows(), tmp_path / "a.csv")
+        b = write_csv(self._rows(), tmp_path / "b.csv")
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,86 @@
+"""Tests for disk-backed trace memoization (repro.workload.memo)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    cached_trace,
+    clear_trace_cache,
+    trace_cache_dir,
+    trace_cache_key,
+)
+from repro.workload.memo import TRACE_GENERATORS
+
+
+class TestCacheKey:
+    def test_stable_across_param_order(self):
+        a = trace_cache_key("rice", {"num_requests": 100, "scale": 0.1})
+        b = trace_cache_key("rice", {"scale": 0.1, "num_requests": 100})
+        assert a == b
+
+    def test_distinct_params_distinct_keys(self):
+        a = trace_cache_key("rice", {"num_requests": 100})
+        b = trace_cache_key("rice", {"num_requests": 200})
+        c = trace_cache_key("ibm", {"num_requests": 100})
+        assert len({a, b, c}) == 3
+
+
+class TestCachedTrace:
+    def test_roundtrip_identical(self, tmp_path):
+        fresh = cached_trace("rice", cache_dir=tmp_path, num_requests=1000, scale=0.1)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        reloaded = cached_trace("rice", cache_dir=tmp_path, num_requests=1000, scale=0.1)
+        assert np.array_equal(fresh.targets, reloaded.targets)
+        assert np.array_equal(fresh.sizes_by_target, reloaded.sizes_by_target)
+        assert fresh.name == reloaded.name
+
+    def test_matches_direct_generation(self, tmp_path):
+        direct = TRACE_GENERATORS["rice"](num_requests=1000, scale=0.1)
+        cached = cached_trace("rice", cache_dir=tmp_path, num_requests=1000, scale=0.1)
+        cached2 = cached_trace("rice", cache_dir=tmp_path, num_requests=1000, scale=0.1)
+        for trace in (cached, cached2):
+            assert np.array_equal(direct.targets, trace.targets)
+            assert np.array_equal(direct.sizes_by_target, trace.sizes_by_target)
+
+    def test_corrupt_entry_regenerated(self, tmp_path):
+        cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"not a numpy archive")
+        trace = cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        assert len(trace) == 500
+
+    def test_refresh_rewrites(self, tmp_path):
+        cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        (entry,) = tmp_path.glob("*.npz")
+        before = entry.stat().st_mtime_ns
+        cached_trace("chess", cache_dir=tmp_path, refresh=True, num_requests=500)
+        assert entry.stat().st_mtime_ns >= before
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            cached_trace("nope", cache_dir=tmp_path)
+
+    def test_clear_cache_counts(self, tmp_path):
+        cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        cached_trace("chess", cache_dir=tmp_path, num_requests=600)
+        assert clear_trace_cache(tmp_path) == 2
+        assert clear_trace_cache(tmp_path) == 0
+
+
+class TestEnvironmentControl:
+    def test_disabled_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert trace_cache_dir() is None
+        trace = cached_trace("chess", num_requests=500)
+        assert len(trace) == 500  # plain generation, no files written
+
+    def test_env_overrides_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "custom"))
+        assert trace_cache_dir() == tmp_path / "custom"
+        cached_trace("chess", num_requests=500)
+        assert len(list((tmp_path / "custom").glob("*.npz"))) == 1
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert trace_cache_dir() == tmp_path / "repro-lard" / "traces"

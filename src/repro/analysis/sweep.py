@@ -79,7 +79,7 @@ def expand_parameters(
 
 def sweep(
     trace: Trace,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     **parameters: Union[Any, List[Any]],
 ) -> List[Dict[str, Any]]:
@@ -91,9 +91,9 @@ def sweep(
     left-to-right) order.
 
     ``jobs`` fans the combinations out over worker processes (see
-    :mod:`repro.analysis.parallel`); rows are identical to a serial run in
-    content and order.  ``progress(done, total)`` is called as cells
-    complete.
+    :mod:`repro.analysis.parallel`; ``None`` auto-sizes to the machine);
+    rows are identical to a serial run in content and order.
+    ``progress(done, total)`` is called as cells complete.
     """
     names, combinations = expand_parameters(parameters)
     configs = [dict(zip(names, combination)) for combination in combinations]

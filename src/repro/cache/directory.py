@@ -157,7 +157,8 @@ class GlobalCacheDirectory:
         if isinstance(mirror, GDSCache):
             credit = mirror.next_victim_credit()
             return credit if credit is not None else float("-inf")
-        assert isinstance(mirror, LRUCache)
+        if not isinstance(mirror, LRUCache):
+            raise CacheError(f"unsupported mirror cache type {type(mirror).__name__}")
         order = mirror.recency_order()
         if not order:
             return float("-inf")

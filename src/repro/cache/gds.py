@@ -19,7 +19,7 @@ operation O(log n) amortized without a decrease-key structure.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # lardlint: disable-file=raw-heapq -- not an event queue; credit-heap entries carry a seq tie-break so equal credits pop in insertion order
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from .base import Cache, CacheError

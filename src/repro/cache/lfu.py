@@ -9,7 +9,7 @@ but adapts slowly when the working set shifts.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # lardlint: disable-file=raw-heapq -- not an event queue; frequency-heap entries carry a seq tie-break so ties pop in insertion order
 from typing import Dict, Hashable, List, Tuple
 
 from .base import Cache, CacheError

@@ -9,6 +9,7 @@ Usage::
     lard-repro trace rice [--requests N] [--scale-factor F]
     lard-repro simulate --policy lard/r --nodes 8 [--trace rice] [...]
     lard-repro simulate --profile sim.pstats
+    lard-repro lint [paths...] [--list-rules]
 
 (`python -m repro` is equivalent.)
 """
@@ -94,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         metavar="OUT.pstats",
         help="profile the simulation under cProfile and dump stats to this file",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run lardlint (determinism/concurrency/hygiene static analysis)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
     )
     return parser
 
@@ -207,6 +221,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args.kind, args.requests, args.scale_factor)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "lint":
+            from .lint import main as lint_main
+
+            lint_argv = list(args.paths)
+            if args.list_rules:
+                lint_argv.append("--list-rules")
+            return lint_main(lint_argv)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early - not an error.
         import os

@@ -25,7 +25,7 @@ connections already in flight drain without corrupting the books.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import Policy
 from ..sim import Engine
@@ -105,7 +105,7 @@ class FrontEnd:
         #: When set (seconds), completions are counted into time buckets —
         #: used by the failure-recovery experiment to plot throughput dips.
         self.timeline_interval_s: Optional[float] = None
-        self.timeline: dict = {}
+        self.timeline: Dict[int, int] = {}
         #: When True, every request's delay is recorded (percentiles).
         self.collect_delays: bool = False
         self.delays_s: List[float] = []

@@ -191,7 +191,8 @@ class BackendNode:
             yield Service(cpu, ((chunk_bytes + 511) // 512) * per_unit)
 
     def _fetch_gms(self, target: Hashable, size: int):
-        assert self.gms is not None
+        if self.gms is None:
+            raise RuntimeError("GMS fetch path taken on a node with no GMS attached")
         if (yield from self._serve_inflight(target, size)):
             return
         result = self.gms.access(self.node_id, target, size)

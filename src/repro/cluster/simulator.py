@@ -15,6 +15,7 @@ order of request frequency in the trace" — see :func:`stripe_by_frequency`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -26,7 +27,7 @@ from ..cache.base import Cache
 from ..core import Policy, make_policy, uses_gms
 from ..core.base import DEFAULT_T_HIGH, DEFAULT_T_LOW
 from ..core.lardr import DEFAULT_K_SECONDS
-from ..sim import Engine
+from ..sim import Engine, InvariantSanitizer
 from ..workload.trace import Trace
 from .costs import PAPER_NODE_CACHE_BYTES, CostModel
 from .frontend import FrontEnd
@@ -120,6 +121,12 @@ class ClusterConfig:
     #: Record every request's delay so percentiles can be reported
     #: (Section 4.4 extension; costs one float per request).
     collect_delays: bool = False
+    #: Run under the invariant sanitizer (:mod:`repro.sim.sanitize`):
+    #: engine-level checks per event plus deep cluster sweeps every
+    #: ``sanitize_interval`` events.  Also enabled by ``REPRO_SANITIZE=1``
+    #: in the environment.  Read-only — results are identical either way.
+    sanitize: bool = False
+    sanitize_interval: int = 256
 
     def scaled_cpu(self, cpu_multiplier: float, memory_multiplier: float = 1.0) -> "ClusterConfig":
         """The Figure 11/12 scaling: faster CPU, proportionally larger cache."""
@@ -196,6 +203,14 @@ class ClusterSimulator:
             requests_per_connection=config.requests_per_connection,
             persistent_policy=config.persistent_policy,
         )
+        self.sanitizer: Optional[InvariantSanitizer] = None
+        if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
+            sanitizer = InvariantSanitizer(deep_interval=config.sanitize_interval)
+            sanitizer.watch_frontend(self.frontend)
+            sanitizer.watch_policy(self.policy)
+            sanitizer.watch_nodes(self.nodes)
+            self.engine.install_sanitizer(sanitizer.after_event)
+            self.sanitizer = sanitizer
 
     def run(self) -> SimulationResult:
         """Serve the whole trace and report the paper's metrics."""
@@ -210,6 +225,8 @@ class ClusterSimulator:
                 raise ValueError(f"unknown membership action {action!r}")
         self.frontend.start()
         end_time = self.engine.run()
+        if self.sanitizer is not None:
+            self.sanitizer.final_check(end_time)
         if not self.frontend.done:
             raise RuntimeError(
                 f"simulation stalled: {self.frontend.completed}/{len(self.trace)} served"

@@ -98,6 +98,21 @@ class BackendStats:
 class BackendServer:
     """A threaded back-end serving handed-off HTTP connections."""
 
+    #: Shared-state locking discipline, checked by lardlint:
+    #: the cache and its payload map are touched by every worker; the
+    #: active-connection set by workers and ``kill``; the lifecycle flags
+    #: by the control thread and ``handoff``/``heartbeat`` callers; the
+    #: stats counters by every worker thread.
+    __guarded_by__ = {
+        "_cache": "_cache_lock",
+        "_payload": "_cache_lock",
+        "_active_conns": "_conn_lock",
+        "_accepting": "_handoff_lock",
+        "_running": "_handoff_lock",
+        "_draining": "_handoff_lock",
+        "stats": "_stats_lock",
+    }
+
     def __init__(
         self,
         node_id: int,
@@ -134,6 +149,7 @@ class BackendServer:
         self._draining = False
         self._handoff_lock = threading.Lock()
         self._conn_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._active_conns: Set[socket.socket] = set()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -156,11 +172,12 @@ class BackendServer:
         with whatever cache state it has — the cluster's health monitor
         clears it so a rejoined node re-enters cold.
         """
-        if self._running:
-            raise RuntimeError(f"backend {self.node_id} already started")
-        self._running = True
-        self._draining = False
-        self._accepting = True
+        with self._handoff_lock:
+            if self._running:
+                raise RuntimeError(f"backend {self.node_id} already started")
+            self._running = True
+            self._draining = False
+            self._accepting = True
         for i in range(self._workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"backend{self.node_id}-w{i}", daemon=True
@@ -173,23 +190,24 @@ class BackendServer:
         keep-alive connections, then join every worker thread."""
         with self._handoff_lock:
             self._accepting = False
-        self._draining = True
-        self._running = False
+            self._draining = True
+            self._running = False
         self._close_listener()
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=5)
         self._threads.clear()
-        self._draining = False
+        with self._handoff_lock:
+            self._draining = False
 
     def kill(self) -> None:
         """Crash the node (chaos testing): sever live connections with an
         RST, reclaim queued-but-unserved connections through
         :attr:`reclaim` (front-end failover) and fail future heartbeats.
         Worker threads are joined so a kill never leaks them."""
-        self._running = False
         with self._handoff_lock:
+            self._running = False
             self._accepting = False
             pending = []
             while True:
@@ -206,17 +224,20 @@ class BackendServer:
             victims = list(self._active_conns)
         for conn in victims:
             self._abort_socket(conn)
-            self.stats.severed += 1
+            with self._stats_lock:
+                self.stats.severed += 1
         for thread in self._threads:
             thread.join(timeout=5)
         self._threads.clear()
         for item in pending:
             if self.reclaim is not None:
-                self.stats.reclaimed += 1
+                with self._stats_lock:
+                    self.stats.reclaimed += 1
                 self.reclaim(item, self.node_id)
             else:
                 self._abort_socket(item.conn)
-                self.stats.severed += 1
+                with self._stats_lock:
+                    self.stats.severed += 1
                 if self.dispatcher is not None:
                     target = item.request.target if item.request else None
                     self.dispatcher.complete(self.node_id, target)
@@ -296,10 +317,12 @@ class BackendServer:
         return listener.getsockname()[:2]
 
     def _accept_loop(self) -> None:
-        assert self._listener is not None
+        listener = self._listener
+        if listener is None:
+            raise RuntimeError("accept loop started before the listener was bound")
         while self._running:
             try:
-                conn, _ = self._listener.accept()
+                conn, _ = listener.accept()
             except OSError:
                 return
             try:
@@ -324,7 +347,10 @@ class BackendServer:
                 raise BackendUnavailableError(
                     f"backend {self.node_id} is not accepting hand-offs"
                 )
-            self._queue.put(item)
+            # The accepting-check and the enqueue must be atomic, or a
+            # kill() could drain the queue between them and strand the
+            # connection.
+            self._queue.put(item)  # lardlint: disable=blocking-call-in-lock -- the queue is unbounded, so put() never blocks
 
     # -- serving -------------------------------------------------------------------
 
@@ -336,7 +362,8 @@ class BackendServer:
             try:
                 self._serve_connection(item)
             except Exception:
-                self.stats.errors += 1
+                with self._stats_lock:
+                    self.stats.errors += 1
                 try:
                     item.conn.close()
                 except OSError:
@@ -345,7 +372,8 @@ class BackendServer:
     def _serve_connection(self, item: HandoffItem) -> None:
         """Serve requests on a handed-off connection until it closes."""
         conn, buffered, request = item.conn, item.buffered, item.request
-        self.stats.connections += 1
+        with self._stats_lock:
+            self.stats.connections += 1
         target = request.target if request else None
         forwarded = False
         with self._conn_lock:
@@ -360,7 +388,8 @@ class BackendServer:
                     if self.persistent_mode == "rehandoff" and self.dispatcher is not None:
                         new_node = self.dispatcher.reroute(self.node_id, request.target)
                         if new_node != self.node_id:
-                            self.stats.rehandoffs_out += 1
+                            with self._stats_lock:
+                                self.stats.rehandoffs_out += 1
                             forwarded = True
                             self.peers[new_node].handoff(
                                 HandoffItem(conn=conn, buffered=buffered, request=request)
@@ -402,7 +431,8 @@ class BackendServer:
             if request is not None:
                 return request, data
             if self._draining and not data:
-                self.stats.drained += 1
+                with self._stats_lock:
+                    self.stats.drained += 1
                 return None, b""  # idle keep-alive connection under drain
             if time.monotonic() >= deadline:
                 return None, b""
@@ -421,7 +451,8 @@ class BackendServer:
         """Serve one parsed request; returns whether to keep the connection."""
         if request.method != "GET":
             self._send(conn, build_response(501, b"GET only", version=request.version))
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
             return False
         body = self._fetch(request.target)
         keep_alive = request.keep_alive and not self._draining
@@ -438,8 +469,9 @@ class BackendServer:
                 extra_headers={"X-Backend": str(self.node_id)},
             )
         self._send(conn, payload)
-        self.stats.requests_served += 1
-        self.stats.bytes_sent += len(payload)
+        with self._stats_lock:
+            self.stats.requests_served += 1
+            self.stats.bytes_sent += len(payload)
         return keep_alive
 
     def _send(self, conn: socket.socket, payload: bytes) -> None:
@@ -450,7 +482,8 @@ class BackendServer:
         conn.sendall(payload)
 
     def _send_error(self, conn: socket.socket, exc: HTTPError) -> None:
-        self.stats.errors += 1
+        with self._stats_lock:
+            self.stats.errors += 1
         try:
             self._send(conn, build_response(exc.status, exc.reason.encode("latin-1")))
         except OSError:
@@ -467,15 +500,18 @@ class BackendServer:
             if self._cache.access(name, size):
                 body = self._payload.get(name)
                 if body is not None:
-                    self.stats.cache_hits += 1
+                    with self._stats_lock:
+                        self.stats.cache_hits += 1
                     return body
                 # The entry is booked in the cache but its bytes are still
                 # being read by another worker: treat as a miss and read
                 # independently (the simulator's coalescing has no cheap
                 # threaded analogue here).
-                self.stats.cache_misses += 1
+                with self._stats_lock:
+                    self.stats.cache_misses += 1
             else:
-                self.stats.cache_misses += 1
+                with self._stats_lock:
+                    self.stats.cache_misses += 1
         # Miss path: real file read plus the simulated disk penalty, done
         # outside the lock so misses on different files overlap (the
         # simulator's per-disk queue analogue is the OS scheduler here).

@@ -138,6 +138,9 @@ class LoadGenerator:
         :attr:`LoadResult.rejected`.
     """
 
+    #: The round-robin URL cursor is shared by every client thread.
+    __guarded_by__ = {"_cursor": "_cursor_lock"}
+
     def __init__(
         self,
         address: Tuple[str, int],

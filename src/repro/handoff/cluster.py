@@ -322,7 +322,8 @@ class L4ProxyCluster:
         """Shut down the proxy and back-ends (idempotent)."""
         if not self._started:
             return
-        assert self.proxy is not None
+        if self.proxy is None:
+            raise RuntimeError("cluster marked started but has no proxy")
         self.proxy.stop()
         for backend in self.backends:
             backend.stop()
@@ -337,7 +338,8 @@ class L4ProxyCluster:
 
     @property
     def address(self) -> Tuple[str, int]:
-        assert self.proxy is not None
+        if self.proxy is None:
+            raise RuntimeError("cluster not started")
         return self.proxy.address
 
     def wait_idle(self, timeout_s: float = 5.0) -> bool:
@@ -353,7 +355,8 @@ class L4ProxyCluster:
 
     def stats(self) -> "L4ClusterStats":
         """Snapshot of proxy and per-back-end statistics."""
-        assert self.proxy is not None
+        if self.proxy is None:
+            raise RuntimeError("cluster not started")
         return L4ClusterStats(
             proxy=self.proxy.stats,
             backends=[b.stats for b in self.backends],

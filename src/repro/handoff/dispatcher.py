@@ -33,6 +33,26 @@ __all__ = ["Dispatcher"]
 class Dispatcher:
     """Serializes policy decisions and tracks cluster-wide admission."""
 
+    #: ``_slot_freed`` is a Condition built *on* ``_lock``, so holding
+    #: either name holds the same mutex; every counter and the policy's
+    #: bookkeeping are mutated only under it.
+    __guarded_by__ = {
+        "_active": ("_lock", "_slot_freed"),
+        "admitted": ("_lock", "_slot_freed"),
+        "completed": ("_lock", "_slot_freed"),
+        "transfers": ("_lock", "_slot_freed"),
+        "orphaned": ("_lock", "_slot_freed"),
+        "failovers": ("_lock", "_slot_freed"),
+        "aborted": ("_lock", "_slot_freed"),
+        "node_failures": ("_lock", "_slot_freed"),
+        "node_joins": ("_lock", "_slot_freed"),
+        "max_in_flight": ("_lock", "_slot_freed"),
+        "_orphan_credits": ("_lock", "_slot_freed"),
+    }
+    #: ``_release_load`` documents its contract in its docstring: the
+    #: caller already holds the lock.
+    __locked_helpers__ = ("_release_load",)
+
     def __init__(self, policy: Policy, max_in_flight: Optional[int] = None) -> None:
         self.policy = policy
         self._auto_limit = max_in_flight is None

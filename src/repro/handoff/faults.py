@@ -48,6 +48,11 @@ __all__ = ["BackendFaults", "FaultInjector"]
 class BackendFaults:
     """Standing fault state for one back-end, consulted at hook points."""
 
+    #: The sever counter is decremented by worker threads racing the test
+    #: thread that arms it; the standing flags are cleared under the same
+    #: lock so a clear() is atomic.
+    __guarded_by__ = {"_sever_remaining": "_lock"}
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.refuse_handoffs = False
@@ -90,7 +95,8 @@ class BackendFaults:
                 conn.close()
             except OSError:
                 pass
-            backend.stats.severed += 1
+            with backend._stats_lock:
+                backend.stats.severed += 1
             raise OSError("connection severed mid-response (fault injection)")
 
     def heartbeat_ok(self) -> bool:
@@ -114,6 +120,9 @@ class BackendFaults:
 
 class FaultInjector:
     """Scripts failures against a running :class:`HandoffCluster`."""
+
+    #: Timer registration races timer expiry callbacks and clear().
+    __guarded_by__ = {"_timers": "_timer_lock"}
 
     def __init__(self, cluster) -> None:
         self.cluster = cluster

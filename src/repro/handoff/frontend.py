@@ -90,6 +90,10 @@ class FrontEndServer:
         capped).
     """
 
+    #: ``stats`` is mutated by the accept loop and every handler-pool
+    #: thread; all counter updates take ``_stats_lock``.
+    __guarded_by__ = {"stats": "_stats_lock"}
+
     def __init__(
         self,
         dispatcher: Dispatcher,
@@ -176,13 +180,16 @@ class FrontEndServer:
     # -- accept / inspect / hand off ------------------------------------------
 
     def _accept_loop(self) -> None:
-        assert self._listener is not None
+        listener = self._listener
+        if listener is None:
+            raise RuntimeError("accept loop started before the listener was bound")
         while self._running:
             try:
-                conn, _addr = self._listener.accept()
+                conn, _addr = listener.accept()
             except OSError:
                 return  # listener closed
-            self.stats.accepted += 1
+            with self._stats_lock:
+                self.stats.accepted += 1
             self._pool.submit(self._handle, conn, time.perf_counter())
 
     def _handle(self, conn: socket.socket, accepted_at: float) -> None:
@@ -204,22 +211,27 @@ class FrontEndServer:
             if node is None:
                 # Admission control timed out: tell the client instead of
                 # silently dropping the connection.
-                self.stats.rejected += 1
+                with self._stats_lock:
+                    self.stats.rejected += 1
                 self._refuse(conn, b"admission queue full")
                 return
             item = HandoffItem(conn=conn, buffered=data, request=request)
             if self._dispatch(item, node, request.target, size):
-                self.stats.handoffs += 1
-                self.stats.handoff_time_total_s += time.perf_counter() - accepted_at
+                elapsed = time.perf_counter() - accepted_at
+                with self._stats_lock:
+                    self.stats.handoffs += 1
+                    self.stats.handoff_time_total_s += elapsed
         except HTTPError as exc:
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
             try:
                 conn.sendall(build_response(exc.status, exc.reason.encode("latin-1")))
             except OSError:
                 pass
             conn.close()
         except OSError:
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
             try:
                 conn.close()
             except OSError:

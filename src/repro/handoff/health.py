@@ -70,6 +70,10 @@ class HealthMonitor:
         Optional callbacks ``fn(node)`` fired after a state change.
     """
 
+    #: Probe streaks and counters are updated by the monitor thread and
+    #: by mark_down/mark_up callers (front-end threads, tests).
+    __guarded_by__ = {"stats": "_lock", "_success_streak": "_lock"}
+
     def __init__(
         self,
         dispatcher: Dispatcher,

@@ -62,6 +62,10 @@ class L4ProxyStats:
 class L4ProxyFrontEnd:
     """Content-oblivious relay front-end over listening back-ends."""
 
+    #: Counters are bumped by the accept loop, per-connection threads,
+    #: and both pump directions concurrently.
+    __guarded_by__ = {"stats": "_stats_lock"}
+
     def __init__(
         self,
         dispatcher: Dispatcher,
@@ -82,6 +86,7 @@ class L4ProxyFrontEnd:
         self._accept_thread: Optional[threading.Thread] = None
         self._running = False
         self.stats = L4ProxyStats()
+        self._stats_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -125,13 +130,16 @@ class L4ProxyFrontEnd:
     # -- proxying -------------------------------------------------------------
 
     def _accept_loop(self) -> None:
-        assert self._listener is not None
+        listener = self._listener
+        if listener is None:
+            raise RuntimeError("accept loop started before the listener was bound")
         while self._running:
             try:
-                client, _ = self._listener.accept()
+                client, _ = listener.accept()
             except OSError:
                 return
-            self.stats.accepted += 1
+            with self._stats_lock:
+                self.stats.accepted += 1
             threading.Thread(
                 target=self._proxy_connection, args=(client,), daemon=True
             ).start()
@@ -147,9 +155,11 @@ class L4ProxyFrontEnd:
         try:
             node, upstream = self._connect_with_failover(node)
             if upstream is None:
-                self.stats.errors += 1
+                with self._stats_lock:
+                    self.stats.errors += 1
                 return
-            self.stats.proxied += 1
+            with self._stats_lock:
+                self.stats.proxied += 1
             done = threading.Event()
             to_backend = threading.Thread(
                 target=self._pump,
@@ -160,7 +170,8 @@ class L4ProxyFrontEnd:
             self._pump(upstream, client, "bytes_to_client", done)
             to_backend.join(timeout=_IO_TIMEOUT_S)
         except OSError:
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
         finally:
             for conn in (client, upstream):
                 if conn is not None:
@@ -183,7 +194,8 @@ class L4ProxyFrontEnd:
                 )
                 return node, upstream
             except OSError:
-                self.stats.connect_failures += 1
+                with self._stats_lock:
+                    self.stats.connect_failures += 1
                 try:
                     self.dispatcher.fail_node(node)
                 except PolicyError:
@@ -195,7 +207,8 @@ class L4ProxyFrontEnd:
                     node = self.dispatcher.reassign(node)
                 except PolicyError:
                     return node, None
-                self.stats.failovers += 1
+                with self._stats_lock:
+                    self.stats.failovers += 1
 
     def _pump(
         self,
@@ -215,7 +228,8 @@ class L4ProxyFrontEnd:
                 if not chunk:
                     break
                 dst.sendall(chunk)
-                setattr(self.stats, counter, getattr(self.stats, counter) + len(chunk))
+                with self._stats_lock:
+                    setattr(self.stats, counter, getattr(self.stats, counter) + len(chunk))
         except OSError:
             pass
         finally:

@@ -1,0 +1,39 @@
+"""Declared lock-acquisition hierarchy for the hand-off prototype.
+
+lardlint's ``lock-order`` rule reads this file (syntactically — it is
+never imported by the checker) and requires that whenever two locks are
+held simultaneously anywhere in :mod:`repro.handoff`, the outer one
+appears *earlier* in :data:`LOCK_HIERARCHY`.  Acquiring in one global
+order is the standard deadlock-freedom argument: a cycle in the
+waits-for graph would need some thread to acquire against the order.
+
+Lock names are matched textually across classes (every ``_stats_lock``
+is one level), which is stricter than necessary — different objects'
+stats locks cannot deadlock with each other — but keeps the rule simple
+and the discipline uniform.
+
+Current nesting in the tree: ``_cache_lock -> _stats_lock`` (a cache
+hit/miss bumps a counter while the cache is locked).  Everything else
+holds a single lock at a time.  When adding a new nesting, extend the
+tuple rather than suppressing the rule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["LOCK_HIERARCHY"]
+
+#: Outermost first.  ``_slot_freed`` and ``_lock`` are the Dispatcher's
+#: condition/mutex pair over the *same* underlying lock; they are
+#: adjacent here and never nested in practice.
+LOCK_HIERARCHY: Tuple[str, ...] = (
+    "_handoff_lock",   # BackendServer: hand-off acceptance + lifecycle flags
+    "_timer_lock",     # FaultInjector: scheduled fault timers
+    "_conn_lock",      # BackendServer: active-connection set
+    "_slot_freed",     # Dispatcher: admission condition (same mutex as _lock)
+    "_lock",           # Dispatcher/HealthMonitor/BackendFaults state
+    "_cache_lock",     # BackendServer: file cache + payload map
+    "_cursor_lock",    # LoadGenerator: round-robin URL cursor
+    "_stats_lock",     # innermost everywhere: plain counter bumps only
+)

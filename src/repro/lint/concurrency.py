@@ -1,0 +1,322 @@
+"""Concurrency rules (the threaded hand-off layer, ``repro.handoff``).
+
+The hand-off prototype shares dispatcher state, statistics, and connection
+tables across accept threads, handler pools, worker threads, heartbeat
+monitors, and fault-injection timers.  These rules turn the locking
+discipline into a checked declaration instead of a convention:
+
+* ``guard-decl`` — any class that creates a :mod:`threading` lock must
+  declare ``__guarded_by__``: a dict literal mapping each shared-mutable
+  attribute to the lock (or locks) that protect it.  Helper methods that
+  require the caller to already hold a lock are listed in
+  ``__locked_helpers__`` — the declaration *is* the documentation.
+* ``unguarded-write`` — an assignment (plain, augmented, or through a
+  subscript, including ``self.stats.counter += 1``) to a declared
+  attribute outside ``__init__`` must sit lexically inside
+  ``with self.<declared lock>:``.
+* ``lock-order`` — when lock acquisitions nest, the nesting must follow
+  the hierarchy declared in the package's ``locks.py``
+  (:data:`repro.handoff.locks.LOCK_HIERARCHY`, outermost first).  A
+  consistent global order is the classic deadlock-freedom argument.
+* ``blocking-call-in-lock`` — no blocking call (socket I/O, connect,
+  ``time.sleep``, thread joins, queue puts) while holding a lock: a slow
+  or dead peer must never be able to wedge the dispatcher.  Waiting on
+  the held lock's own condition variable is allowed — that releases it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .context import FileContext, call_chain, self_attribute_root
+
+__all__ = ["RULES", "check"]
+
+RULES: Tuple[str, ...] = (
+    "guard-decl",
+    "unguarded-write",
+    "lock-order",
+    "blocking-call-in-lock",
+)
+
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+_BLOCKING_METHODS = frozenset(
+    {
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "accept",
+        "connect",
+        "connect_ex",
+        "send",
+        "sendall",
+        "sendto",
+        "sleep",
+        "join",
+        "put",
+        "select",
+        "create_connection",
+    }
+)
+#: Methods of the *held* lock itself that are exempt: Condition.wait
+#: releases the lock while blocked, and notify/notify_all never block.
+_HELD_LOCK_METHODS = frozenset({"wait", "wait_for", "notify", "notify_all"})
+
+
+class _ClassInfo:
+    """Lock attributes and guard declarations extracted from one class."""
+
+    def __init__(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        self.node = node
+        self.lock_attrs: Set[str] = set()
+        self.guarded: Dict[str, Tuple[str, ...]] = {}
+        self.locked_helpers: Set[str] = set()
+        self.declared = False
+        self._collect_locks(ctx, node)
+        self._collect_declarations(ctx, node)
+
+    def _collect_locks(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        threading_aliases = _threading_aliases(ctx.tree)
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef) or method.name != "__init__":
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                if not (isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute)):
+                    continue
+                receiver = value.func.value
+                if not (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in threading_aliases
+                    and value.func.attr in _LOCK_FACTORIES
+                ):
+                    continue
+                for target in stmt.targets:
+                    attr = self_attribute_root(target)
+                    if attr:
+                        self.lock_attrs.add(attr)
+
+    def _collect_declarations(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__guarded_by__":
+                    self.declared = True
+                    self._parse_guarded(ctx, value)
+                elif target.id == "__locked_helpers__":
+                    self._parse_helpers(ctx, value)
+
+    def _parse_guarded(self, ctx: FileContext, value: ast.expr) -> None:
+        if not isinstance(value, ast.Dict):
+            ctx.report(value, "guard-decl", "__guarded_by__ must be a dict literal")
+            return
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                ctx.report(value, "guard-decl", "__guarded_by__ keys must be string literals")
+                continue
+            locks = _string_tuple(val)
+            if locks is None:
+                ctx.report(
+                    val,
+                    "guard-decl",
+                    f"__guarded_by__[{key.value!r}] must name a lock attribute "
+                    "(string or tuple of strings)",
+                )
+                continue
+            unknown = [name for name in locks if name not in self.lock_attrs]
+            if unknown:
+                ctx.report(
+                    val,
+                    "guard-decl",
+                    f"__guarded_by__[{key.value!r}] names unknown lock(s) "
+                    f"{', '.join(unknown)} (locks found in __init__: "
+                    f"{', '.join(sorted(self.lock_attrs)) or 'none'})",
+                )
+                continue
+            self.guarded[key.value] = locks
+
+    def _parse_helpers(self, ctx: FileContext, value: ast.expr) -> None:
+        names = _string_tuple(value)
+        if names is None:
+            ctx.report(
+                value, "guard-decl", "__locked_helpers__ must be a tuple of method names"
+            )
+            return
+        self.locked_helpers.update(names)
+
+
+def _threading_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading":
+                    aliases.add(alias.asname or "threading")
+    return aliases
+
+
+def _string_tuple(value: ast.expr) -> Optional[Tuple[str, ...]]:
+    """A string literal or tuple-of-strings literal, else None."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return (value.value,)
+    if isinstance(value, ast.Tuple):
+        out: List[str] = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            out.append(element.value)
+        return tuple(out)
+    return None
+
+
+def _with_lock_names(node: ast.With, lock_attrs: Set[str]) -> List[str]:
+    """Locks acquired by one ``with`` statement (``with self.<lock>:``)."""
+    names: List[str] = []
+    for item in node.items:
+        expr = item.context_expr
+        # Allow `with self._lock:` and `with self._cond: ...` forms; a
+        # `.acquire()` call is not a scoped hold and is not credited.
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            names.append(expr.attr)
+    return names
+
+
+def _check_method(ctx: FileContext, info: _ClassInfo, method: ast.FunctionDef) -> None:
+    hierarchy = ctx.lock_hierarchy
+
+    def visit(node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested callables run later, under their caller's locks
+        if isinstance(node, ast.With):
+            acquired = _with_lock_names(node, info.lock_attrs)
+            for lock in acquired:
+                if held:
+                    _check_order(ctx, node, held[-1], lock, hierarchy)
+                held = held + (lock,)
+            for child in node.body:
+                visit(child, held)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = self_attribute_root(target)
+                locks = info.guarded.get(attr)
+                if locks is not None and not set(locks) & set(held):
+                    ctx.report(
+                        node,
+                        "unguarded-write",
+                        f"write to {info.node.name}.{attr} outside "
+                        f"'with self.{locks[0]}' (declared in __guarded_by__); "
+                        "hold the lock, or list the method in __locked_helpers__",
+                    )
+        if isinstance(node, ast.Call) and held:
+            _check_blocking(ctx, node, held)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in method.body:
+        visit(stmt, ())
+
+
+def _check_order(
+    ctx: FileContext,
+    node: ast.AST,
+    outer: str,
+    inner: str,
+    hierarchy: Sequence[str],
+) -> None:
+    if inner == outer:
+        return  # re-entering the same (R)Lock; not an ordering question
+    if not hierarchy:
+        ctx.report(
+            node,
+            "lock-order",
+            f"nested acquisition {outer} -> {inner} but no LOCK_HIERARCHY is "
+            "declared in this package's locks.py",
+        )
+        return
+    missing = [name for name in (outer, inner) if name not in hierarchy]
+    if missing:
+        ctx.report(
+            node,
+            "lock-order",
+            f"lock(s) {', '.join(missing)} are not in the declared "
+            "LOCK_HIERARCHY; add them in acquisition order",
+        )
+        return
+    if hierarchy.index(outer) >= hierarchy.index(inner):
+        ctx.report(
+            node,
+            "lock-order",
+            f"acquiring {inner} while holding {outer} violates the declared "
+            f"hierarchy ({' -> '.join(hierarchy)})",
+        )
+
+
+def _check_blocking(ctx: FileContext, node: ast.Call, held: Tuple[str, ...]) -> None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        if method not in _BLOCKING_METHODS and method not in _HELD_LOCK_METHODS:
+            return
+        receiver = func.value
+        # Condition-variable operations on a lock we hold are exempt.
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and receiver.attr in held
+        ):
+            return
+        if method in _HELD_LOCK_METHODS:
+            return  # wait/notify on something we don't hold: not blocking I/O
+        # str.join / b"".join on literals is string plumbing, not blocking.
+        if method == "join" and isinstance(receiver, (ast.Constant, ast.JoinedStr)):
+            return
+        chain = call_chain(func) or method
+        ctx.report(
+            node,
+            "blocking-call-in-lock",
+            f"blocking call {chain}() while holding lock(s) "
+            f"{', '.join(held)}; a slow peer could wedge every thread "
+            "waiting on the lock",
+        )
+
+
+def check(ctx: FileContext) -> None:
+    """Run every concurrency rule over ``ctx``."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _ClassInfo(ctx, node)
+        if info.lock_attrs and not info.declared:
+            ctx.report(
+                node,
+                "guard-decl",
+                f"class {node.name} creates lock(s) "
+                f"{', '.join(sorted(info.lock_attrs))} but declares no "
+                "__guarded_by__ mapping of shared attributes to locks",
+            )
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name == "__init__" or method.name in info.locked_helpers:
+                continue
+            _check_method(ctx, info, method)

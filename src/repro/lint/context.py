@@ -1,0 +1,71 @@
+"""Per-file analysis context handed to every lardlint rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["FileContext", "self_attribute_root", "call_chain"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyze one file.
+
+    ``package`` is the ``repro`` sub-package the file belongs to (e.g.
+    ``"sim"``) or ``""`` when outside the tree (fixtures); ``scopes`` is
+    the set of rule families that apply; ``lock_hierarchy`` is the declared
+    lock order (outermost first) for concurrency-scope files.
+    """
+
+    path: str
+    tree: ast.Module
+    scopes: FrozenSet[str]
+    package: str = ""
+    lock_hierarchy: Tuple[str, ...] = ()
+    findings: List[Finding] = field(default_factory=list)
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        """Record one finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+
+def self_attribute_root(node: ast.expr) -> str:
+    """Name of the ``self`` attribute an assignment target ultimately hits.
+
+    Resolves ``self.x``, ``self.x[i]``, ``self.x.y`` (and deeper chains)
+    to ``"x"``; returns ``""`` for anything not rooted at ``self``.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return ""
+
+
+def call_chain(func: ast.expr) -> str:
+    """Dotted name of a call target (``"time.monotonic"``), or ``""``."""
+    parts: List[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,26 @@
+"""Finding record shared by every lardlint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable across runs
+    regardless of the order rules executed in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: rule: message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"

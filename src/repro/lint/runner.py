@@ -1,0 +1,216 @@
+"""lardlint driver: scope resolution, directive handling, CLI entry point.
+
+Rule families are applied by package path:
+
+* determinism — ``repro.sim``, ``repro.core``, ``repro.cache``,
+  ``repro.cluster``, ``repro.workload`` (everything whose output must be
+  a pure function of the trace and the seed);
+* concurrency — ``repro.handoff`` (the threaded live-cluster prototype);
+* hygiene — every file.
+
+Files outside the ``repro`` package (the lint fixture corpus under
+``tests/lint_fixtures/``) get hygiene only, unless they force scopes with
+a ``# lardlint: scope=...`` directive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from . import concurrency, determinism, hygiene
+from .context import FileContext
+from .findings import Finding
+from .suppress import parse_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "SCOPE_DETERMINISM",
+    "SCOPE_CONCURRENCY",
+    "SCOPE_HYGIENE",
+    "ALL_SCOPES",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+SCOPE_DETERMINISM = "determinism"
+SCOPE_CONCURRENCY = "concurrency"
+SCOPE_HYGIENE = "hygiene"
+ALL_SCOPES: FrozenSet[str] = frozenset(
+    {SCOPE_DETERMINISM, SCOPE_CONCURRENCY, SCOPE_HYGIENE}
+)
+
+#: Every suppressible rule id (``bad-suppression`` itself is deliberately
+#: not suppressible — a typo'd directive must always surface).
+ALL_RULES: FrozenSet[str] = frozenset(
+    determinism.RULES + concurrency.RULES + hygiene.RULES
+)
+
+_SCOPE_CHECKS = (
+    (SCOPE_DETERMINISM, determinism.check),
+    (SCOPE_CONCURRENCY, concurrency.check),
+    (SCOPE_HYGIENE, hygiene.check),
+)
+
+_DETERMINISM_PACKAGES = frozenset({"sim", "core", "cache", "cluster", "workload"})
+_CONCURRENCY_PACKAGES = frozenset({"handoff"})
+
+_hierarchy_cache: Dict[Path, Tuple[str, ...]] = {}
+
+
+def _repro_package(path: Path) -> str:
+    """Sub-package of ``repro`` that ``path`` sits in (``""`` if outside)."""
+    parts = path.resolve().parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            return parts[i + 1] if parts[i + 1].endswith(".py") is False else ""
+    return ""
+
+
+def _default_scopes(package: str) -> FrozenSet[str]:
+    scopes = {SCOPE_HYGIENE}
+    if package in _DETERMINISM_PACKAGES:
+        scopes.add(SCOPE_DETERMINISM)
+    if package in _CONCURRENCY_PACKAGES:
+        scopes.add(SCOPE_CONCURRENCY)
+    return frozenset(scopes)
+
+
+def _load_lock_hierarchy(directory: Path) -> Tuple[str, ...]:
+    """``LOCK_HIERARCHY`` from ``<directory>/locks.py``, parsed via AST.
+
+    The declaration is read syntactically (never imported) so the linter
+    can analyze a tree that does not import cleanly.
+    """
+    if directory in _hierarchy_cache:
+        return _hierarchy_cache[directory]
+    hierarchy: Tuple[str, ...] = ()
+    locks_file = directory / "locks.py"
+    if locks_file.is_file():
+        try:
+            tree = ast.parse(locks_file.read_text(encoding="utf-8"))
+        except SyntaxError:
+            tree = None
+        if tree is not None:
+            for node in tree.body:
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "LOCK_HIERARCHY":
+                        names: List[str] = []
+                        if isinstance(value, (ast.Tuple, ast.List)):
+                            for elt in value.elts:
+                                if isinstance(elt, ast.Constant) and isinstance(
+                                    elt.value, str
+                                ):
+                                    names.append(elt.value)
+                        hierarchy = tuple(names)
+    _hierarchy_cache[directory] = hierarchy
+    return hierarchy
+
+
+def lint_file(path: Path, scopes: Optional[FrozenSet[str]] = None) -> List[Finding]:
+    """Lint one file, returning its sorted findings.
+
+    ``scopes`` overrides both the path-derived defaults and any ``scope=``
+    directive in the file (used by tests to pin a fixture's rule set).
+    """
+    display = str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(display, 1, 0, "parse-error", f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(display, exc.lineno or 1, 0, "parse-error", f"syntax error: {exc.msg}")
+        ]
+
+    suppressions = parse_suppressions(source, display, ALL_RULES, ALL_SCOPES)
+    if scopes is None:
+        scopes = suppressions.forced_scopes or _default_scopes(_repro_package(path))
+
+    hierarchy: Tuple[str, ...] = ()
+    if SCOPE_CONCURRENCY in scopes:
+        hierarchy = _load_lock_hierarchy(path.resolve().parent)
+
+    ctx = FileContext(
+        path=display,
+        tree=tree,
+        scopes=scopes,
+        package=_repro_package(path),
+        lock_hierarchy=hierarchy,
+    )
+    for scope, checker in _SCOPE_CHECKS:
+        if scope in scopes:
+            checker(ctx)
+
+    kept = [
+        finding
+        for finding in ctx.findings
+        if not suppressions.is_suppressed(finding.rule, finding.line)
+    ]
+    kept.extend(suppressions.errors)
+    return sorted(kept)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (dirs recurse), sorted."""
+    findings: List[Finding] = []
+    for file in _iter_python_files(paths):
+        findings.extend(lint_file(file))
+    return sorted(findings)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.lint [paths...]`` — exit 0 iff clean."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="lardlint: determinism, concurrency, and API-hygiene "
+        "static analysis for the LARD reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(ALL_RULES):
+            print(rule)
+        return 0
+
+    paths = args.paths or [Path(__file__).resolve().parent.parent]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"lardlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -7,12 +7,15 @@ processes, FIFO multi-server resources, and one-shot broadcast events.  See
 
 from .engine import Delay, Engine, Process, SimulationError
 from .resources import Acquire, Release, Resource, Service, SimEvent, Wait
+from .sanitize import InvariantSanitizer, SanitizerError
 
 __all__ = [
     "Engine",
     "Process",
     "Delay",
     "SimulationError",
+    "InvariantSanitizer",
+    "SanitizerError",
     "Resource",
     "Service",
     "Acquire",

@@ -36,12 +36,12 @@ Example
 
 from __future__ import annotations
 
-import heapq
+import heapq  # lardlint: disable-file=raw-heapq -- this IS the engine: every push carries the (time, seq) tie-break the rule exists to enforce
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 __all__ = ["Engine", "Process", "Delay", "SimulationError"]
 
-_EMPTY_ARGS: Tuple = ()
+_EMPTY_ARGS: Tuple[Any, ...] = ()
 
 
 class SimulationError(RuntimeError):
@@ -86,7 +86,9 @@ class Process:
 
     __slots__ = ("engine", "_gen", "finished", "value", "name", "_resume")
 
-    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+    def __init__(
+        self, engine: "Engine", gen: Generator[Any, Any, Any], name: str = ""
+    ) -> None:
         self.engine = engine
         self._gen = gen
         self.finished = False
@@ -140,10 +142,14 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[..., None], Tuple]] = []
+        self._queue: List[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = []
         self._seq = 0
         self._stopped = False
         self.events_dispatched = 0
+        # Optional per-event invariant hook (see repro.sim.sanitize).
+        # Kept as a separate run loop so the unsanitized hot path pays
+        # nothing — not even a None check per event.
+        self._sanitizer: Optional[Callable[[float, Callable[..., None]], None]] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -169,7 +175,7 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, callback, args))
 
-    def process(self, gen: Generator, name: str = "") -> Process:
+    def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         """Register a generator as a process, starting it at the current time."""
         proc = Process(self, gen, name=name)
         # Start the process via the event queue (not synchronously) so that
@@ -187,6 +193,8 @@ class Engine:
         scheduled after it are left in the queue and the clock is advanced
         exactly to ``until``.
         """
+        if self._sanitizer is not None:
+            return self._run_sanitized(until)
         self._stopped = False
         queue = self._queue
         pop = heapq.heappop
@@ -210,6 +218,42 @@ class Engine:
                 dispatched += 1
                 callback(*args)
             if self.now < until and not self._stopped:
+                self.now = until
+            return self.now
+        finally:
+            self.events_dispatched += dispatched
+
+    def install_sanitizer(
+        self, hook: Callable[[float, Callable[..., None]], None]
+    ) -> None:
+        """Invoke ``hook(event_time, callback)`` after every dispatched event.
+
+        Installing a hook switches :meth:`run` to a separate checked loop,
+        so simulations without a sanitizer keep the unchecked hot path.
+        Pass ``None`` to uninstall.
+        """
+        self._sanitizer = hook
+
+    def _run_sanitized(self, until: Optional[float]) -> float:
+        """The :meth:`run` loop with the invariant hook in the dispatch path."""
+        hook = self._sanitizer
+        if hook is None:  # pragma: no cover - run() guards this
+            raise SimulationError("no sanitizer installed")
+        self._stopped = False
+        queue = self._queue
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            while queue and not self._stopped:
+                if until is not None and queue[0][0] > until:
+                    self.now = until
+                    return self.now
+                when, _seq, callback, args = pop(queue)
+                self.now = when
+                dispatched += 1
+                callback(*args)
+                hook(when, callback)
+            if until is not None and self.now < until and not self._stopped:
                 self.now = until
             return self.now
         finally:

@@ -1,0 +1,284 @@
+"""Runtime invariant sanitizer for the discrete-event simulator.
+
+The static rules in :mod:`repro.lint` catch *constructs* that break
+determinism; this module catches *states* that mean the simulation's
+accounting has already gone wrong.  With the sanitizer enabled (set
+``REPRO_SANITIZE=1``, pass ``sanitize=True`` to
+:func:`repro.cluster.simulator.run_simulation`, or set
+``ClusterConfig.sanitize``), the engine checks invariants as it
+dispatches and raises :class:`SanitizerError` naming the violating event
+the moment one fails — instead of the corruption surfacing thousands of
+events later as a subtly wrong hit ratio.
+
+Checked every event (cheap, O(1)):
+
+* the simulated clock never moves backwards;
+* request conservation at the front-end: requests admitted from the
+  trace equal completions plus what in-flight connections can still be
+  carrying, and ``0 <= in_flight <= max_in_flight`` (with a drain
+  allowance when a node failure shrinks the admission limit under
+  connections admitted before it, per paper Section 2.6).
+
+Checked every ``deep_interval`` events and at end of run (O(cluster)):
+
+* every resource satisfies ``0 <= busy <= capacity`` and no queue grew
+  while servers sat free beyond transient dispatch;
+* every cache satisfies ``used_bytes <= capacity_bytes`` with
+  ``used_bytes`` equal to the sum of its tracked entry sizes;
+* policy load accounting is non-negative, and every node named by a
+  LARD mapping or LARD/R server set is in the live membership — the
+  paper's failure rule ("as if they had not been assigned before") says
+  a dead node must never be routable.
+
+The sanitizer is strictly read-only: it never touches accounting methods
+with side effects (e.g. ``Resource.busy_time`` folds the running
+integral), so a sanitized run produces *byte-identical* results to an
+unsanitized one — a property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+__all__ = ["SanitizerError", "InvariantSanitizer"]
+
+#: Tolerance for the monotonic-clock check; event times are exact floats
+#: copied from the heap, so any regression is a real corruption, but a
+#: tiny slack keeps the check robust to future fused-arithmetic changes.
+_TIME_EPS = 1e-12
+
+
+class SanitizerError(AssertionError):
+    """An engine invariant failed during a sanitized run.
+
+    The message names the violating event: its simulated time, its
+    ordinal position in the dispatch sequence, and the callback that had
+    just run when the check failed.
+    """
+
+
+def _describe(callback: Optional[Callable[..., Any]]) -> str:
+    if callback is None:
+        return "end of run"
+    name = getattr(callback, "__qualname__", None) or getattr(
+        callback, "__name__", None
+    )
+    return name if name else repr(callback)
+
+
+class InvariantSanitizer:
+    """Per-event invariant checker installed into an :class:`Engine`.
+
+    Watched objects are registered with the ``watch_*`` methods (all
+    duck-typed, so the sanitizer has no import edge back into the
+    cluster layer); the engine then calls the instance once per
+    dispatched event via :meth:`after_event`.
+
+    Parameters
+    ----------
+    deep_interval:
+        How many events between full O(cluster) sweeps.  1 checks deep
+        invariants on every event (slow, maximal precision — corruption
+        tests use this); the default keeps sanitized runs cheap enough
+        for CI smoke simulations.
+    """
+
+    def __init__(self, deep_interval: int = 256) -> None:
+        if deep_interval < 1:
+            raise ValueError(f"deep_interval must be >= 1, got {deep_interval}")
+        self.deep_interval = deep_interval
+        self.events_seen = 0
+        self.deep_sweeps = 0
+        self._last_time = 0.0
+        # Admission-limit allowance: when a node failure shrinks the
+        # front-end's max_in_flight (S is recomputed for the smaller
+        # cluster), connections admitted under the old limit legitimately
+        # drain above the new one (paper Section 2.6).  The allowance is
+        # the limit in force when in_flight last fit under it, so only a
+        # genuine over-admission trips the check.
+        self._in_flight_cap = 0
+        self._frontend: Optional[Any] = None
+        self._policy: Optional[Any] = None
+        self._resources: List[Any] = []
+        self._caches: List[Any] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def watch_frontend(self, frontend: Any) -> None:
+        """Track a :class:`repro.cluster.frontend.FrontEnd`'s conservation law."""
+        self._frontend = frontend
+
+    def watch_policy(self, policy: Any) -> None:
+        """Track a :class:`repro.core.base.Policy`'s loads and membership."""
+        self._policy = policy
+
+    def watch_resource(self, resource: Any) -> None:
+        """Track one :class:`repro.sim.resources.Resource`'s slot accounting."""
+        self._resources.append(resource)
+
+    def watch_cache(self, cache: Any) -> None:
+        """Track one :class:`repro.cache.base.Cache`'s byte accounting."""
+        if cache is not None:
+            self._caches.append(cache)
+
+    def watch_node(self, node: Any) -> None:
+        """Track a simulated back-end node: its CPU, disks, and cache."""
+        self.watch_resource(node.cpu)
+        for disk in getattr(node, "disks", ()):
+            self.watch_resource(disk)
+        self.watch_cache(getattr(node, "cache", None))
+
+    def watch_nodes(self, nodes: Iterable[Any]) -> None:
+        """Track every node in ``nodes`` (see :meth:`watch_node`)."""
+        for node in nodes:
+            self.watch_node(node)
+
+    # -- the engine hook -------------------------------------------------------
+
+    def after_event(self, when: float, callback: Callable[..., Any]) -> None:
+        """Called by the engine after each dispatched event."""
+        self.events_seen += 1
+        if when + _TIME_EPS < self._last_time:
+            self._fail(
+                when,
+                callback,
+                f"clock moved backwards: event at t={when!r} after t={self._last_time!r}",
+            )
+        self._last_time = when
+        self._check_conservation(when, callback)
+        if self.events_seen % self.deep_interval == 0:
+            self._deep_check(when, callback)
+
+    def final_check(self, now: float) -> None:
+        """Full sweep at end of run (the deep interval may not divide the
+        event count, so the final state is always inspected)."""
+        self._check_conservation(now, None)
+        self._deep_check(now, None)
+
+    # -- checks ----------------------------------------------------------------
+
+    def _fail(self, when: float, callback: Optional[Callable[..., Any]], reason: str) -> None:
+        raise SanitizerError(
+            f"invariant violated at t={when:.9g}, event #{self.events_seen} "
+            f"({_describe(callback)}): {reason}"
+        )
+
+    def _check_conservation(
+        self, when: float, callback: Optional[Callable[..., Any]]
+    ) -> None:
+        fe = self._frontend
+        if fe is None:
+            return
+        admitted = fe._next
+        completed = fe.completed
+        in_flight = fe.in_flight
+        if in_flight < 0:
+            self._fail(when, callback, f"in_flight is negative ({in_flight})")
+        limit = fe.max_in_flight
+        allowance = self._in_flight_cap if self._in_flight_cap > limit else limit
+        if in_flight > allowance:
+            self._fail(
+                when,
+                callback,
+                f"in_flight {in_flight} exceeds the admission limit {limit} "
+                f"(drain allowance {allowance})",
+            )
+        if in_flight <= limit:
+            self._in_flight_cap = limit
+        outstanding = admitted - completed
+        if outstanding < 0:
+            self._fail(
+                when,
+                callback,
+                f"completed {completed} exceeds admitted {admitted}",
+            )
+        if outstanding > in_flight * fe.requests_per_connection:
+            self._fail(
+                when,
+                callback,
+                f"request conservation broken: admitted {admitted} != completed "
+                f"{completed} + work carried by {in_flight} in-flight "
+                f"connection(s) (<= {in_flight * fe.requests_per_connection} requests)",
+            )
+
+    def _deep_check(self, when: float, callback: Optional[Callable[..., Any]]) -> None:
+        self.deep_sweeps += 1
+        for resource in self._resources:
+            busy = resource._busy
+            if busy < 0:
+                self._fail(
+                    when,
+                    callback,
+                    f"resource {resource.name or resource!r} has negative busy "
+                    f"count ({busy})",
+                )
+            if busy > resource.capacity:
+                self._fail(
+                    when,
+                    callback,
+                    f"resource {resource.name or resource!r} busy count {busy} "
+                    f"exceeds capacity {resource.capacity}",
+                )
+        for cache in self._caches:
+            if cache.used_bytes > cache.capacity_bytes:
+                self._fail(
+                    when,
+                    callback,
+                    f"cache {cache.name or cache!r} holds {cache.used_bytes} bytes, "
+                    f"over its capacity {cache.capacity_bytes}",
+                )
+            if cache.used_bytes < 0:
+                self._fail(
+                    when,
+                    callback,
+                    f"cache {cache.name or cache!r} has negative used_bytes "
+                    f"({cache.used_bytes})",
+                )
+            tracked = sum(cache._sizes.values())
+            if tracked != cache.used_bytes:
+                self._fail(
+                    when,
+                    callback,
+                    f"cache {cache.name or cache!r} used_bytes {cache.used_bytes} "
+                    f"disagrees with the sum of its entries ({tracked})",
+                )
+        self._check_policy(when, callback)
+
+    def _check_policy(self, when: float, callback: Optional[Callable[..., Any]]) -> None:
+        policy = self._policy
+        if policy is None:
+            return
+        for node, load in enumerate(policy.loads):
+            if load < 0:
+                self._fail(
+                    when, callback, f"policy load for node {node} is negative ({load})"
+                )
+        alive: Sequence[bool] = policy._alive
+        # LARD: target -> node mappings must only name live nodes.
+        server_map = getattr(policy, "_server", None)
+        if server_map is not None:
+            for target, node in server_map.items():
+                if not alive[node]:
+                    self._fail(
+                        when,
+                        callback,
+                        f"LARD mapping {target!r} -> node {node} names a failed "
+                        "node (must be dropped 'as if never assigned')",
+                    )
+        # LARD/R: every server-set member must be live.  Entries carry a
+        # membership epoch and are filtered lazily on access, so only
+        # current-epoch sets are required to be clean.
+        server_sets = getattr(policy, "_server_sets", None)
+        if server_sets is not None:
+            epoch = policy.membership_epoch
+            for target, entry in server_sets.items():
+                if getattr(entry, "epoch", epoch) != epoch:
+                    continue
+                for node in entry.nodes:
+                    if not alive[node]:
+                        self._fail(
+                            when,
+                            callback,
+                            f"LARD/R server set for {target!r} contains failed "
+                            f"node {node}",
+                        )

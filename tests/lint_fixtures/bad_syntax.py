@@ -1,0 +1,5 @@
+"""Unparseable fixture: the runner must report parse-error, not crash."""
+
+
+def broken(:
+    pass

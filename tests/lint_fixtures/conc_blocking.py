@@ -1,0 +1,15 @@
+# lardlint: scope=concurrency
+"""Positive fixture: socket I/O while holding a lock."""
+
+import threading
+
+
+class Pump:
+    __guarded_by__ = {}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def drain(self, sock):
+        with self._lock:
+            return sock.recv(4096)

@@ -1,0 +1,36 @@
+# lardlint: scope=concurrency
+"""Negative fixture: disciplined locking that every concurrency rule accepts."""
+
+import threading
+
+
+class Worker:
+    __guarded_by__ = {"jobs": "_a", "done": ("_a", "_b")}
+    __locked_helpers__ = ("_drop_done",)
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._ready = threading.Condition()
+        self.jobs = 0
+        self.done = 0
+
+    def add(self, sock):
+        payload = sock.recv(16)
+        with self._a:
+            self.jobs += 1
+            with self._b:
+                self.done += 1
+        return payload
+
+    def wait_ready(self):
+        with self._ready:
+            self._ready.wait()
+            self._ready.notify_all()
+
+    def _drop_done(self):
+        self.done -= 1
+
+    def label(self, parts):
+        with self._a:
+            return ", ".join(str(part) for part in parts)

@@ -1,0 +1,14 @@
+# lardlint: scope=concurrency
+"""Positive fixture: a class creates a lock but declares no guards."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,17 @@
+# lardlint: scope=concurrency
+"""Positive fixture: nested acquisition against the declared hierarchy."""
+
+import threading
+
+
+class Nested:
+    __guarded_by__ = {}
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def backwards(self):
+        with self._b:
+            with self._a:
+                pass

@@ -1,0 +1,19 @@
+# lardlint: scope=concurrency
+"""Positive fixture: a declared-guarded attribute written without its lock."""
+
+import threading
+
+
+class Counter:
+    __guarded_by__ = {"count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump_unlocked(self):
+        self.count += 1
+
+    def bump_locked(self):
+        with self._lock:
+            self.count += 1

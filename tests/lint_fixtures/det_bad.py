@@ -1,0 +1,28 @@
+# lardlint: scope=determinism
+"""Positive fixture: every determinism rule fires at least once."""
+
+import heapq
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def order(items):
+    for item in {1, 2, 3}:
+        items.append(item)
+    return items
+
+
+def collect(out=[]):
+    return out
+
+
+def push(queue, when):
+    heapq.heappush(queue, (when, None))

@@ -1,0 +1,29 @@
+# lardlint: scope=determinism
+"""Negative fixture: the deterministic counterparts of ``det_bad``."""
+
+import random
+
+
+def stamp(engine):
+    return engine.now
+
+
+def seeded():
+    return random.Random(7)
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def order(items):
+    for item in sorted({1, 2, 3}):
+        items.append(item)
+    biggest = max({1, 2})
+    return items, biggest
+
+
+def collect(out=None):
+    if out is None:
+        out = []
+    return out

@@ -1,0 +1,9 @@
+"""Positive fixture: hygiene rules (the default scope outside ``repro``)."""
+
+
+def risky(value):
+    assert value > 0
+    try:
+        return 1 / value
+    except:
+        return 0

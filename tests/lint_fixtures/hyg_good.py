@@ -1,0 +1,12 @@
+"""Negative fixture: explicit raises and named (or re-raising) handlers."""
+
+
+def safe(value):
+    if value <= 0:
+        raise ValueError("value must be positive")
+    try:
+        return 1 / value
+    except ZeroDivisionError:
+        return 0
+    except:
+        raise

@@ -1,0 +1,3 @@
+"""Lock hierarchy for the concurrency lint fixtures (outermost first)."""
+
+LOCK_HIERARCHY = ("_a", "_b")

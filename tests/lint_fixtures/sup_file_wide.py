@@ -1,0 +1,10 @@
+# lardlint: disable-file=runtime-assert -- fixture: file-wide suppression
+"""A reasoned disable-file directive silences the rule everywhere."""
+
+
+def first(value):
+    assert value
+
+
+def second(value):
+    assert not value

@@ -1,0 +1,5 @@
+"""A suppression without a reason is itself a finding and does not apply."""
+
+
+def risky(value):
+    assert value  # lardlint: disable=runtime-assert

@@ -1,0 +1,5 @@
+"""A documented suppression silences its rule on that line only."""
+
+
+def risky(value):
+    assert value  # lardlint: disable=runtime-assert -- fixture: documented suppression

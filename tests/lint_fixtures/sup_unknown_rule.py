@@ -1,0 +1,5 @@
+"""A suppression naming a rule that does not exist is reported."""
+
+
+def fine():
+    return 1  # lardlint: disable=no-such-rule -- typo fixture

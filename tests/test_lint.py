@@ -1,0 +1,135 @@
+"""lardlint: per-rule fixtures, suppression machinery, and the self-check.
+
+Each rule has a positive fixture (the rule fires) and a negative fixture
+(the disciplined counterpart stays clean) under ``tests/lint_fixtures/``.
+Fixtures pin their rule families with ``# lardlint: scope=...`` because
+they live outside the ``repro`` package tree.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.cli import main as cli_main
+from repro.lint import ALL_RULES, lint_file, lint_paths, main as lint_main
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPRO_PACKAGE = Path(repro.__file__).resolve().parent
+
+
+def rules_of(name):
+    return [finding.rule for finding in lint_file(FIXTURES / name)]
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_determinism_positive_fixture_trips_every_rule():
+    assert set(rules_of("det_bad.py")) == {
+        "wall-clock",
+        "global-random",
+        "set-iteration",
+        "mutable-default",
+        "raw-heapq",
+    }
+
+
+def test_determinism_negative_fixture_is_clean():
+    assert rules_of("det_good.py") == []
+
+
+# -- concurrency ---------------------------------------------------------------
+
+
+def test_lock_without_guard_declaration_is_flagged():
+    assert rules_of("conc_guard_missing.py") == ["guard-decl"]
+
+
+def test_write_outside_declared_lock_is_flagged_once():
+    assert rules_of("conc_unguarded.py") == ["unguarded-write"]
+
+
+def test_nested_acquisition_against_hierarchy_is_flagged():
+    assert rules_of("conc_order_bad.py") == ["lock-order"]
+
+
+def test_blocking_call_under_lock_is_flagged():
+    assert rules_of("conc_blocking.py") == ["blocking-call-in-lock"]
+
+
+def test_disciplined_locking_fixture_is_clean():
+    assert rules_of("conc_good.py") == []
+
+
+# -- hygiene -------------------------------------------------------------------
+
+
+def test_hygiene_positive_fixture():
+    assert set(rules_of("hyg_bad.py")) == {"bare-except", "runtime-assert"}
+
+
+def test_hygiene_negative_fixture_allows_reraising_handler():
+    assert rules_of("hyg_good.py") == []
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+def test_reasoned_suppression_silences_the_rule():
+    assert rules_of("sup_reasoned.py") == []
+
+
+def test_suppression_without_reason_is_reported_and_does_not_apply():
+    assert sorted(rules_of("sup_missing_reason.py")) == [
+        "bad-suppression",
+        "runtime-assert",
+    ]
+
+
+def test_suppression_of_unknown_rule_is_reported():
+    assert rules_of("sup_unknown_rule.py") == ["bad-suppression"]
+
+
+def test_reasoned_file_wide_suppression():
+    assert rules_of("sup_file_wide.py") == []
+
+
+def test_bad_suppression_is_itself_unsuppressible():
+    assert "bad-suppression" not in ALL_RULES
+
+
+def test_unparseable_file_reports_parse_error():
+    findings = lint_file(FIXTURES / "bad_syntax.py")
+    assert [finding.rule for finding in findings] == ["parse-error"]
+
+
+def test_finding_format_is_path_line_col_rule():
+    finding = lint_file(FIXTURES / "hyg_bad.py")[0]
+    text = finding.format()
+    assert text.startswith(f"{FIXTURES / 'hyg_bad.py'}:")
+    assert f" {finding.rule}: " in text
+
+
+# -- the self-check: the tree must lint clean ----------------------------------
+
+
+def test_repro_package_lints_clean():
+    assert lint_paths([REPRO_PACKAGE]) == []
+
+
+# -- CLI entry points ----------------------------------------------------------
+
+
+def test_lint_main_exit_codes(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main([str(FIXTURES / "det_good.py")]) == 0
+    assert lint_main([str(FIXTURES / "det_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out
+
+
+def test_cli_lint_subcommand(capsys):
+    assert cli_main(["lint", str(FIXTURES / "hyg_good.py")]) == 0
+    assert cli_main(["lint", str(FIXTURES / "hyg_bad.py")]) == 1
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "runtime-assert" in out

@@ -1,0 +1,247 @@
+"""Runtime invariant sanitizer: clean runs pass untouched, corrupted runs die.
+
+Two halves:
+
+* the **read-only** contract — a sanitized run (env var or config flag)
+  produces results identical to an unsanitized one, down to the exported
+  CSV bytes;
+* the **detection** contract — deliberately corrupting engine, cache,
+  front-end, or policy state mid-run raises :class:`SanitizerError`
+  naming the violation, for every invariant family the sanitizer checks.
+
+Corruption tests run with ``sanitize_interval=1`` so the deep sweep
+inspects state on the very next event after the corruption lands.
+"""
+
+import heapq
+
+import pytest
+
+from repro.analysis.sweep import result_row, write_csv
+from repro.cluster import ClusterConfig, ClusterSimulator, run_simulation
+from repro.core.lardr import _ServerSet
+from repro.sim import Engine, InvariantSanitizer, SanitizerError
+from repro.workload import synthesize_trace
+
+CACHE = 256 * 1024
+
+
+def _trace(n_requests=1200, seed=3):
+    return synthesize_trace(n_requests, 150, 4 * 10**6, 1.0, seed=seed)
+
+
+def _simulator(policy="lard", **overrides):
+    config = ClusterConfig(
+        policy=policy,
+        num_nodes=3,
+        node_cache_bytes=CACHE,
+        sanitize=True,
+        sanitize_interval=1,
+        **overrides,
+    )
+    return ClusterSimulator(_trace(), config)
+
+
+def _corrupt_at(sim, fraction, corrupt):
+    """Schedule ``corrupt(sim)`` partway into the run (by event count).
+
+    A probe event at an early simulated time measures nothing useful —
+    instead the corruption fires from inside the event stream, after the
+    cluster has warmed up, by piggybacking on a time roughly mid-trace.
+    """
+    # Run a throwaway copy to learn the end time, then corrupt a fresh one.
+    probe = ClusterSimulator(_trace(), ClusterConfig(
+        policy=sim.config.policy, num_nodes=3, node_cache_bytes=CACHE))
+    end = probe.run().sim_time_s
+    sim.engine.schedule(end * fraction, corrupt, sim)
+    return sim
+
+
+# -- the read-only contract ----------------------------------------------------
+
+
+def test_reference_run_passes_under_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = ClusterSimulator(
+        _trace(), ClusterConfig(policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+    )
+    assert sim.sanitizer is not None
+    result = sim.run()
+    assert result.num_requests == 1200
+    assert sim.sanitizer.events_seen > 0
+    assert sim.sanitizer.deep_sweeps > 0
+
+
+def test_env_var_off_means_no_sanitizer(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sim = ClusterSimulator(
+        _trace(), ClusterConfig(policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+    )
+    assert sim.sanitizer is None
+
+
+def test_sanitized_run_is_byte_identical(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    trace = _trace()
+    kwargs = dict(policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+    plain = run_simulation(trace, **kwargs)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    via_env = run_simulation(trace, **kwargs)
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    via_config = run_simulation(trace, sanitize=True, sanitize_interval=64, **kwargs)
+
+    assert plain == via_env == via_config
+
+    paths = []
+    for tag, result in (("plain", plain), ("env", via_env), ("config", via_config)):
+        paths.append(write_csv([result_row(result, {"run": 0})], tmp_path / f"{tag}.csv"))
+    blobs = [path.read_bytes() for path in paths]
+    assert blobs[0] == blobs[1] == blobs[2]
+
+
+# -- detection: engine-level invariants ----------------------------------------
+
+
+def test_clock_regression_is_caught():
+    def corrupt(sim):
+        # Bypass the schedule() past-guard: push a raw event dated before
+        # the current clock, exactly the corruption the sanitizer exists
+        # to catch.
+        engine = sim.engine
+        engine._seq += 1
+        heapq.heappush(engine._queue, (engine.now / 2, engine._seq, lambda: None, ()))
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="clock moved backwards"):
+        sim.run()
+
+
+def test_bare_engine_hook_checks_monotonicity():
+    engine = Engine()
+    sanitizer = InvariantSanitizer(deep_interval=1)
+    engine.install_sanitizer(sanitizer.after_event)
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(
+        0.5, lambda: heapq.heappush(engine._queue, (0.1, 10**9, lambda: None, ()))
+    )
+    with pytest.raises(SanitizerError, match="clock moved backwards"):
+        engine.run()
+
+
+# -- detection: resource and cache accounting ----------------------------------
+
+
+def test_negative_resource_slots_are_caught():
+    def corrupt(sim):
+        sim.nodes[0].cpu._busy = -1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="negative busy"):
+        sim.run()
+
+
+def test_cache_overfill_is_caught():
+    def corrupt(sim):
+        cache = sim.nodes[0].cache
+        cache.used_bytes = cache.capacity_bytes + 1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="over its capacity"):
+        sim.run()
+
+
+def test_cache_size_disagreement_is_caught():
+    def corrupt(sim):
+        # Track a phantom entry without charging used_bytes.
+        sim.nodes[0].cache._sizes[object()] = 1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="disagrees with the sum"):
+        sim.run()
+
+
+# -- detection: front-end conservation -----------------------------------------
+
+
+def test_lost_completion_is_caught():
+    def corrupt(sim):
+        sim.frontend.completed += len(sim.trace)
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="exceeds admitted"):
+        sim.run()
+
+
+def test_negative_in_flight_is_caught():
+    def corrupt(sim):
+        sim.frontend.in_flight = -1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="in_flight is negative"):
+        sim.run()
+
+
+def test_admission_limit_overrun_is_caught():
+    def corrupt(sim):
+        sim.frontend.in_flight = sim.frontend.max_in_flight + 1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="admission limit"):
+        sim.run()
+
+
+# -- detection: membership (paper Section 2.6) ---------------------------------
+
+
+def test_lard_mapping_to_failed_node_is_caught():
+    def corrupt(sim):
+        sim.frontend.fail_node(1)
+        sim.policy._server["ghost-target"] = 1
+
+    sim = _corrupt_at(_simulator(policy="lard"), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="names a failed"):
+        sim.run()
+
+
+def test_lardr_server_set_with_failed_node_is_caught():
+    def corrupt(sim):
+        sim.frontend.fail_node(1)
+        sim.policy._server_sets["ghost-target"] = _ServerSet(
+            nodes={1}, last_mod=sim.engine.now, epoch=sim.policy.membership_epoch
+        )
+
+    sim = _corrupt_at(_simulator(policy="lard/r"), 0.5, corrupt)
+    with pytest.raises(SanitizerError, match="contains failed"):
+        sim.run()
+
+
+def test_stale_epoch_server_sets_are_not_flagged():
+    """Entries from before a membership change are filtered lazily on
+    access; the sanitizer must not flag them (only current-epoch sets)."""
+
+    def fail_only(sim):
+        sim.frontend.fail_node(1)
+
+    sim = _corrupt_at(_simulator(policy="lard/r"), 0.4, fail_only)
+    result = sim.run()
+    assert result.num_requests == 1200
+
+
+# -- error message quality -----------------------------------------------------
+
+
+def test_error_names_time_event_and_callback():
+    def corrupt(sim):
+        sim.nodes[0].cpu._busy = -1
+
+    sim = _corrupt_at(_simulator(), 0.5, corrupt)
+    with pytest.raises(SanitizerError) as excinfo:
+        sim.run()
+    message = str(excinfo.value)
+    assert "t=" in message
+    assert "event #" in message
+
+
+def test_deep_interval_validation():
+    with pytest.raises(ValueError):
+        InvariantSanitizer(deep_interval=0)

@@ -9,6 +9,8 @@ Usage::
     lard-repro trace rice [--requests N] [--scale-factor F]
     lard-repro simulate --policy lard/r --nodes 8 [--trace rice] [...]
     lard-repro simulate --profile sim.pstats
+    lard-repro simulate --spans out.jsonl [--sample-interval S]
+    lard-repro spans out.jsonl
     lard-repro lint [paths...] [--list-rules]
 
 (`python -m repro` is equivalent.)
@@ -96,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.pstats",
         help="profile the simulation under cProfile and dump stats to this file",
     )
+    sim.add_argument(
+        "--spans",
+        metavar="OUT.jsonl",
+        help="emit a per-request span log (repro.obs JSONL schema) to this file",
+    )
+    sim.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --spans: also sample per-node load / miss ratio / queue "
+        "depths every S simulated seconds",
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="analyze a span log: where-time-went breakdown and delay distribution",
+    )
+    spans.add_argument("path", help="JSONL span log (from 'simulate --spans' or a live run)")
 
     lint = sub.add_parser(
         "lint",
@@ -193,14 +214,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cache_policy=args.cache,
         costs=CostModel(cpu_speed=args.cpu_speed),
         profile=args.profile,
+        trace_out=args.spans,
+        sample_interval_s=args.sample_interval,
     )
     print(result.summary())
     if args.profile:
         print(f"profile written to {args.profile} (inspect with: python -m pstats {args.profile})")
+    if args.spans:
+        print(f"span log written to {args.spans} (analyze with: lard-repro spans {args.spans})")
     print(
         f"disk reads: {result.disk_reads} (+{result.coalesced_reads} coalesced); "
         f"cpu busy {result.cpu_busy_fraction:.0%}, disk busy {result.disk_busy_fraction:.0%}"
     )
+    return 0
+
+
+def _cmd_spans(path: str) -> int:
+    from .obs import format_report, read_span_log
+
+    print(format_report(read_span_log(path)))
     return 0
 
 
@@ -221,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args.kind, args.requests, args.scale_factor)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "spans":
+            return _cmd_spans(args.path)
         if args.command == "lint":
             from .lint import main as lint_main
 

@@ -25,7 +25,7 @@ connections already in flight drain without corrupting the books.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import Policy
 from ..sim import Engine
@@ -109,6 +109,12 @@ class FrontEnd:
         #: When True, every request's delay is recorded (percentiles).
         self.collect_delays: bool = False
         self.delays_s: List[float] = []
+        #: Optional :class:`repro.obs.tracer.SimTracer`.  Like the
+        #: invariant sanitizer, tracing swaps in separate instrumented
+        #: generators (``_admit_traced``) so the unhooked hot path below
+        #: is untouched; the traced path replays the same state
+        #: mutations, so results stay byte-identical.
+        self.tracer: Optional[Any] = None
 
     # -- driving ---------------------------------------------------------------
 
@@ -159,6 +165,9 @@ class FrontEnd:
         return batch
 
     def _admit(self) -> None:
+        if self.tracer is not None:
+            self._admit_traced()
+            return
         targets = self._target_list
         n = len(targets)
         if self.requests_per_connection == 1:
@@ -191,6 +200,61 @@ class FrontEnd:
             self.connections += 1
             self.in_flight += 1
             self.engine.process(self._connection(batch, node_id, hit_hint))
+
+    # -- the traced admission path (repro.obs) ----------------------------------
+
+    def _admit_traced(self) -> None:
+        """Admission with span tracing attached.
+
+        Mirrors :meth:`_admit` exactly — same policy calls, same counter
+        updates, same scheduling order — so a traced run's
+        :class:`~repro.cluster.metrics.SimulationResult` is
+        byte-identical to an untraced one.  The single-request fast path
+        collapses into the batch path here (a batch of one is
+        semantically identical, and traced runs are not perf-gated).
+        """
+        while self.in_flight < self.max_in_flight and self._next < len(
+            self._target_list
+        ):
+            batch = self._take_batch()
+            target, size = batch[0]
+            node_id = self.policy.choose(target, size, now=self.engine.now)
+            take = self._take_prediction
+            hit_hint = take() if take is not None else None
+            self._attach(node_id)
+            self.connections += 1
+            self.in_flight += 1
+            self.engine.process(self._connection_traced(batch, node_id, hit_hint))
+
+    def _connection_traced(self, batch: List[Tuple[int, int]], node_id: int, hit_hint):
+        """Traced twin of :meth:`_connection` (and of the
+        :meth:`_single_request` fast path, via a batch of one)."""
+        tracer = self.tracer
+        epoch = self._epoch[node_id]
+        last_index = len(batch) - 1
+        for index, (target, size) in enumerate(batch):
+            if index > 0:
+                hit_hint = None
+                if self.persistent_policy == "rehandoff":
+                    node_id, epoch, hit_hint = self._maybe_rehandoff(
+                        node_id, epoch, target, size
+                    )
+            start = self.engine.now
+            span = tracer.begin(target, size, node_id, start)
+            yield from self.nodes[node_id].serve_traced(
+                target,
+                size,
+                span,
+                hit_hint=hit_hint,
+                establish=(index == 0),
+                teardown=(index == last_index),
+            )
+            span.t_complete = self.engine.now
+            tracer.finish(span)
+            self._account_request(node_id, epoch, start)
+        self._detach(node_id, epoch)
+        self.in_flight -= 1
+        self._admit()
 
     # -- per-connection accounting --------------------------------------------------
 

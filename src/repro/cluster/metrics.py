@@ -17,6 +17,7 @@ the bundle every experiment consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -135,14 +136,19 @@ class SimulationResult:
         return self.total_delay_s / self.num_requests if self.num_requests else 0.0
 
     def delay_percentile_s(self, pct: float) -> float:
-        """Request-delay percentile (requires ``collect_delays=True``)."""
+        """Request-delay percentile (requires ``collect_delays=True``).
+
+        Nearest-rank with the ceil-based rank ``ceil(pct/100 * n)``:
+        exact multiples land on the rank itself (p50 of ``[1, 2]`` is
+        1), p0 is the minimum and p100 the maximum.
+        """
         if not 0 <= pct <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
         if not self.delays_s:
             raise ValueError("run with collect_delays=True to get percentiles")
         ordered = sorted(self.delays_s)
-        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
-        return ordered[index]
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[min(len(ordered) - 1, max(rank - 1, 0))]
 
     @property
     def delay_spread_s(self) -> float:

@@ -24,7 +24,7 @@ remote hits charge fetch CPU time at *both* the holder and the requester.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from ..cache.base import Cache
 from ..cache.gms import GlobalMemorySystem, GMSOutcome
@@ -213,6 +213,160 @@ class BackendNode:
         else:
             self.cache_misses += 1
             yield from self._disk_read(target, size)
+
+    # -- the traced request lifecycle (repro.obs) ------------------------------------
+    #
+    # Traced twins of the serve/fetch generators above, used only when a
+    # SimTracer is attached to the front-end.  Each twin performs the
+    # *identical* state mutations and yields the identical command
+    # sequence, additionally recording per-phase simulated-time deltas
+    # into ``span.phases`` and returning the span outcome.  Keeping them
+    # separate (the sanitizer's pattern) leaves the unhooked hot path
+    # byte-for-byte untouched.
+
+    def serve_traced(
+        self,
+        target: Hashable,
+        size: int,
+        span: Any,
+        hit_hint: Optional[bool] = None,
+        establish: bool = True,
+        teardown: bool = True,
+    ):
+        """Traced twin of :meth:`serve`: same effects, plus span phases."""
+        engine = self.engine
+        phases = span.phases
+        if establish:
+            t0 = engine.now
+            yield Service(self.cpu, self._conn_time)
+            phases["establish"] = phases.get("establish", 0.0) + (engine.now - t0)
+        if hit_hint is not None:
+            outcome = yield from self._fetch_hinted_traced(target, size, hit_hint, phases)
+        elif self.gms is not None:
+            outcome = yield from self._fetch_gms_traced(target, size, phases)
+        else:
+            outcome = yield from self._fetch_local_traced(target, size, phases)
+        if teardown:
+            t0 = engine.now
+            yield Service(self.cpu, self._teardown_time)
+            phases["teardown"] = phases.get("teardown", 0.0) + (engine.now - t0)
+        self.requests_served += 1
+        self.bytes_served += size
+        span.outcome = outcome
+
+    def _fetch_hinted_traced(
+        self, target: Hashable, size: int, hit: bool, phases: Dict[str, float]
+    ):
+        if hit:
+            self.cache_hits += 1
+            t0 = self.engine.now
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
+            phases["cpu"] = phases.get("cpu", 0.0) + (self.engine.now - t0)
+            return "hit"
+        pending = self._pending.get(target)
+        if pending is not None:
+            return (
+                yield from self._serve_inflight_pending_traced(
+                    pending, target, size, phases
+                )
+            )
+        self.cache_misses += 1
+        yield from self._disk_read_traced(target, size, phases)
+        return "miss"
+
+    def _fetch_local_traced(self, target: Hashable, size: int, phases: Dict[str, float]):
+        pending = self._pending.get(target)
+        if pending is not None:
+            return (
+                yield from self._serve_inflight_pending_traced(
+                    pending, target, size, phases
+                )
+            )
+        if self.cache.access(target, size):
+            self.cache_hits += 1
+            t0 = self.engine.now
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
+            phases["cpu"] = phases.get("cpu", 0.0) + (self.engine.now - t0)
+            return "hit"
+        self.cache_misses += 1
+        yield from self._disk_read_traced(target, size, phases)
+        return "miss"
+
+    def _serve_inflight_pending_traced(
+        self, pending: SimEvent, target: Hashable, size: int, phases: Dict[str, float]
+    ):
+        self.cache_misses += 1
+        if self.coalesce_reads:
+            self.coalesced_reads += 1
+            engine = self.engine
+            t0 = engine.now
+            yield Wait(pending)
+            phases["queue"] = phases.get("queue", 0.0) + (engine.now - t0)
+            t0 = engine.now
+            yield Service(self.cpu, ((size + 511) // 512) * self._transmit_per_unit)
+            phases["cpu"] = phases.get("cpu", 0.0) + (engine.now - t0)
+            return "coalesced"
+        yield from self._chunked_read_traced(target, size, phases)
+        return "miss"
+
+    def _disk_read_traced(self, target: Hashable, size: int, phases: Dict[str, float]):
+        event = SimEvent(self.engine, name=f"read[{self.node_id}:{target}]")
+        self._pending[target] = event
+        yield from self._chunked_read_traced(target, size, phases)
+        del self._pending[target]
+        event.trigger()
+
+    def _chunked_read_traced(self, target: Hashable, size: int, phases: Dict[str, float]):
+        self.disk_reads += 1
+        disk = self.disk_for(target)
+        cpu = self.cpu
+        per_unit = self._transmit_per_unit
+        engine = self.engine
+        disk_total = phases.get("disk", 0.0)
+        cpu_total = phases.get("cpu", 0.0)
+        for chunk_bytes, disk_time in self.costs.disk_chunks(size):
+            t0 = engine.now
+            yield Service(disk, disk_time)
+            t1 = engine.now
+            yield Service(cpu, ((chunk_bytes + 511) // 512) * per_unit)
+            disk_total += t1 - t0
+            cpu_total += engine.now - t1
+        phases["disk"] = disk_total
+        phases["cpu"] = cpu_total
+
+    def _fetch_gms_traced(self, target: Hashable, size: int, phases: Dict[str, float]):
+        if self.gms is None:
+            raise RuntimeError("GMS fetch path taken on a node with no GMS attached")
+        pending = self._pending.get(target)
+        if pending is not None:
+            return (
+                yield from self._serve_inflight_pending_traced(
+                    pending, target, size, phases
+                )
+            )
+        result = self.gms.access(self.node_id, target, size)
+        engine = self.engine
+        if result.outcome is GMSOutcome.LOCAL_HIT:
+            self.cache_hits += 1
+            self.gms_local_hits += 1
+            t0 = engine.now
+            yield Service(self.cpu, self.costs.transmit_time(size))
+            phases["cpu"] = phases.get("cpu", 0.0) + (engine.now - t0)
+            return "gms_local"
+        if result.outcome is GMSOutcome.REMOTE_HIT:
+            self.cache_hits += 1
+            self.gms_remote_hits += 1
+            holder = self.peers[result.holder]
+            fetch = self.costs.gms_fetch_time(size)
+            t0 = engine.now
+            yield Service(holder.cpu, fetch)
+            yield Service(self.cpu, fetch)
+            yield Service(self.cpu, self.costs.transmit_time(size))
+            phases["cpu"] = phases.get("cpu", 0.0) + (engine.now - t0)
+            return "gms_remote"
+        self.cache_misses += 1
+        yield from self._disk_read_traced(target, size, phases)
+        return "miss"
 
     # -- reporting -----------------------------------------------------------------
 

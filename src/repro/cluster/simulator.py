@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -138,9 +138,17 @@ class ClusterConfig:
 
 
 class ClusterSimulator:
-    """Builds and runs one cluster over one trace."""
+    """Builds and runs one cluster over one trace.
 
-    def __init__(self, trace: Trace, config: ClusterConfig) -> None:
+    ``tracer`` attaches a :class:`repro.obs.tracer.SimTracer`: the
+    front-end then runs its instrumented admission path, emitting one
+    span per request (plus periodic samples) while producing the exact
+    same :class:`~repro.cluster.metrics.SimulationResult`.
+    """
+
+    def __init__(
+        self, trace: Trace, config: ClusterConfig, tracer: Optional[Any] = None
+    ) -> None:
         if config.num_nodes < 1:
             raise ValueError(f"need at least one node, got {config.num_nodes}")
         self.trace = trace
@@ -203,6 +211,10 @@ class ClusterSimulator:
             requests_per_connection=config.requests_per_connection,
             persistent_policy=config.persistent_policy,
         )
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.frontend, self.nodes, self.policy)
+            self.frontend.tracer = tracer
         self.sanitizer: Optional[InvariantSanitizer] = None
         if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
             sanitizer = InvariantSanitizer(deep_interval=config.sanitize_interval)
@@ -266,6 +278,8 @@ def run_simulation(
     trace: Trace,
     config: Optional[ClusterConfig] = None,
     profile: Optional[Union[str, Path]] = None,
+    trace_out: Optional[Union[str, Path]] = None,
+    sample_interval_s: Optional[float] = None,
     **overrides,
 ) -> SimulationResult:
     """Convenience wrapper: build a config (plus overrides) and run it.
@@ -274,11 +288,31 @@ def run_simulation(
     stats to that path (inspect with ``python -m pstats`` or snakeviz);
     construction and trace generation are excluded so the profile shows
     the simulation hot path only.
+
+    ``trace_out`` writes a JSONL span log (one span per request; see
+    :mod:`repro.obs.span`) to that path; ``sample_interval_s``
+    additionally emits periodic time-series samples.  Tracing runs the
+    instrumented admission path but the returned result is identical.
     """
     base = config if config is not None else ClusterConfig()
     if overrides:
         base = replace(base, **overrides)
+    if trace_out is not None:
+        # Imported lazily: the untraced path must not even import obs.
+        from ..obs.span import SpanWriter
+        from ..obs.tracer import SimTracer
+
+        with SpanWriter(trace_out, source="sim") as writer:
+            tracer = SimTracer(writer, sample_interval_s=sample_interval_s)
+            simulator = ClusterSimulator(trace, base, tracer=tracer)
+            return _run(simulator, profile)
     simulator = ClusterSimulator(trace, base)
+    return _run(simulator, profile)
+
+
+def _run(
+    simulator: ClusterSimulator, profile: Optional[Union[str, Path]]
+) -> SimulationResult:
     if profile is None:
         return simulator.run()
     import cProfile

@@ -46,6 +46,7 @@ from typing import Callable, Dict, Optional, Sequence, Set
 
 from ..cache import GDSCache, LRUCache
 from ..cache.base import Cache
+from ..obs.span import Span, SpanWriter
 from .dispatcher import Dispatcher
 from .docroot import DocumentStore
 from .http import HTTPError, HTTPRequest, build_response, parse_request_head
@@ -71,11 +72,17 @@ class BackendUnavailableError(ConnectionError):
 
 @dataclass
 class HandoffItem:
-    """One handed-off connection: the live socket plus bytes already read."""
+    """One handed-off connection: the live socket plus bytes already read.
+
+    ``span`` is the in-progress :class:`repro.obs.span.Span` opened by
+    the front-end for the first request on the connection (None when
+    tracing is off); the serving back-end completes and emits it.
+    """
 
     conn: socket.socket
     buffered: bytes
     request: Optional[HTTPRequest]
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -162,6 +169,9 @@ class BackendServer:
         self.reclaim: Optional[Callable[[HandoffItem, int], None]] = None
         #: Optional fault-injection hooks (:class:`repro.handoff.faults.BackendFaults`).
         self.faults = None
+        #: Wired by the cluster when span tracing is on: the shared
+        #: :class:`repro.obs.span.SpanWriter` all emitters append to.
+        self.trace_writer: Optional[SpanWriter] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -372,6 +382,7 @@ class BackendServer:
     def _serve_connection(self, item: HandoffItem) -> None:
         """Serve requests on a handed-off connection until it closes."""
         conn, buffered, request = item.conn, item.buffered, item.request
+        span = item.span
         with self._stats_lock:
             self.stats.connections += 1
         target = request.target if request else None
@@ -385,6 +396,9 @@ class BackendServer:
                     if request is None:
                         break  # client closed or idle timeout
                     target = request.target
+                    # Subsequent keep-alive requests (and listening-mode
+                    # connections) get fresh spans opened here.
+                    span = self._begin_span(request)
                     if self.persistent_mode == "rehandoff" and self.dispatcher is not None:
                         new_node = self.dispatcher.reroute(self.node_id, request.target)
                         if new_node != self.node_id:
@@ -392,12 +406,18 @@ class BackendServer:
                                 self.stats.rehandoffs_out += 1
                             forwarded = True
                             self.peers[new_node].handoff(
-                                HandoffItem(conn=conn, buffered=buffered, request=request)
+                                HandoffItem(
+                                    conn=conn,
+                                    buffered=buffered,
+                                    request=request,
+                                    span=span,
+                                )
                             )
                             return  # connection now belongs to the peer
                 buffered = buffered[request.head_bytes:] if request.head_bytes else buffered
-                keep_alive = self._serve_one(conn, request)
+                keep_alive = self._serve_one(conn, request, span)
                 request = None
+                span = None
                 if not keep_alive:
                     break
         finally:
@@ -447,14 +467,26 @@ class BackendServer:
                 return None, b""
             data += chunk
 
-    def _serve_one(self, conn: socket.socket, request: HTTPRequest) -> bool:
+    def _serve_one(
+        self,
+        conn: socket.socket,
+        request: HTTPRequest,
+        span: Optional[Span] = None,
+    ) -> bool:
         """Serve one parsed request; returns whether to keep the connection."""
+        writer = self.trace_writer
+        if writer is None:
+            span = None
+        serve_start = writer.clock() if (writer and span is not None) else 0.0
         if request.method != "GET":
             self._send(conn, build_response(501, b"GET only", version=request.version))
             with self._stats_lock:
                 self.stats.errors += 1
+            if writer and span is not None:
+                span.t_complete = writer.clock()
+                writer.write_span(span)
             return False
-        body = self._fetch(request.target)
+        body = self._fetch(request.target, span)
         keep_alive = request.keep_alive and not self._draining
         if body is None:
             payload = build_response(
@@ -472,7 +504,40 @@ class BackendServer:
         with self._stats_lock:
             self.stats.requests_served += 1
             self.stats.bytes_sent += len(payload)
+        if writer and span is not None:
+            now = writer.clock()
+            span.node = self.node_id
+            # Hand-off phase: dispatch decision to the worker picking the
+            # connection up (includes the back-end queue wait); serve is
+            # the rest minus the explicit disk stand-in.
+            span.phases["handoff"] = max(0.0, serve_start - span.t_dispatch)
+            span.phases["serve"] = max(
+                0.0, (now - serve_start) - span.phases.get("disk", 0.0)
+            )
+            span.t_complete = now
+            writer.write_span(span)
         return keep_alive
+
+    def _begin_span(self, request: HTTPRequest) -> Optional[Span]:
+        """Open a span for a request that arrived on an already-held
+        connection (keep-alive follow-up or direct listening mode): the
+        back-end itself is both the arrival and the dispatch point."""
+        writer = self.trace_writer
+        if writer is None:
+            return None
+        now = writer.clock()
+        policy = ""
+        if self.dispatcher is not None:
+            policy = str(getattr(self.dispatcher.policy, "name", ""))
+        return Span(
+            req=writer.next_req(),
+            target=request.target,
+            size=self.store.size_of(request.target) or 0,
+            policy=policy,
+            node=self.node_id,
+            t_arrival=now,
+            t_dispatch=now,
+        )
 
     def _send(self, conn: socket.socket, payload: bytes) -> None:
         faults = self.faults
@@ -491,17 +556,21 @@ class BackendServer:
 
     # -- the file cache ----------------------------------------------------------
 
-    def _fetch(self, name: str) -> Optional[bytes]:
+    def _fetch(self, name: str, span: Optional[Span] = None) -> Optional[bytes]:
         """Whole-file cache lookup with the disk-penalty miss path."""
         size = self.store.size_of(name)
         if size is None:
             return None
+        if span is not None:
+            span.outcome = "miss"
         with self._cache_lock:
             if self._cache.access(name, size):
                 body = self._payload.get(name)
                 if body is not None:
                     with self._stats_lock:
                         self.stats.cache_hits += 1
+                    if span is not None:
+                        span.outcome = "hit"
                     return body
                 # The entry is booked in the cache but its bytes are still
                 # being read by another worker: treat as a miss and read
@@ -515,9 +584,14 @@ class BackendServer:
         # Miss path: real file read plus the simulated disk penalty, done
         # outside the lock so misses on different files overlap (the
         # simulator's per-disk queue analogue is the OS scheduler here).
+        disk_start = time.perf_counter() if span is not None else 0.0
         if self.miss_penalty_s > 0:
             time.sleep(self.miss_penalty_s)
         body = self.store.read(name)
+        if span is not None:
+            span.phases["disk"] = span.phases.get("disk", 0.0) + (
+                time.perf_counter() - disk_start
+            )
         with self._cache_lock:
             if self._cache.peek(name):
                 self._payload[name] = body

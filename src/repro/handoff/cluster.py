@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core import make_policy
+from ..obs.metrics import MetricsRegistry
+from ..obs.span import SpanWriter
 from .backend import BackendServer, BackendStats
 from .dispatcher import Dispatcher
 from .docroot import DocumentStore
@@ -103,6 +105,7 @@ class HandoffCluster:
         enable_health: bool = True,
         admit_timeout_s: Optional[float] = 10.0,
         max_handoff_retries: int = 3,
+        trace_path: Optional[str] = None,
     ) -> None:
         self.store = store
         policy_obj = make_policy(
@@ -142,7 +145,113 @@ class HandoffCluster:
             backend.dispatcher = self.dispatcher
             backend.peers = self.backends
             backend.reclaim = self.frontend.failover_item
+        #: The cluster's metrics registry, served at ``GET /metrics`` on
+        #: the front-end address.  Counter/gauge instruments read the
+        #: authoritative stats structures at scrape time, so the page can
+        #: never disagree with :meth:`stats`.
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+        #: Shared span writer (``source="live"``) when tracing is on.
+        self.trace_writer: Optional[SpanWriter] = None
+        if trace_path is not None:
+            writer = SpanWriter(trace_path, source="live")
+            self.trace_writer = writer
+            self.frontend.trace_writer = writer
+            for backend in self.backends:
+                backend.trace_writer = writer
         self._started = False
+
+    def _register_metrics(self) -> None:
+        """Register the paper's runtime series over the live structures."""
+        registry = self.metrics
+        fe = self.frontend
+        dispatcher = self.dispatcher
+        for name, help_text, read in (
+            ("accepted", "Client connections accepted", lambda: fe.stats.accepted),
+            ("handoffs", "Connections handed off to a back-end", lambda: fe.stats.handoffs),
+            ("handoff_failures", "Hand-off attempts that failed", lambda: fe.stats.handoff_failures),
+            ("failovers", "Connections moved to a surviving back-end", lambda: fe.stats.failovers),
+            ("rejected", "Connections answered 503", lambda: fe.stats.rejected),
+            ("reclaimed", "Queued connections reclaimed from a killed back-end", lambda: fe.stats.reclaimed),
+            ("errors", "Connections that died in the front-end", lambda: fe.stats.errors),
+        ):
+            registry.counter(f"lard_frontend_{name}_total", help_text, fn=read)
+        for name, help_text, read in (
+            ("admitted", "Connections granted an admission slot", lambda: dispatcher.admitted),
+            ("completed", "Connections fully served", lambda: dispatcher.completed),
+            ("orphaned", "Connections that died with a failed back-end", lambda: dispatcher.orphaned),
+            ("node_failures", "Back-ends removed from the routing set", lambda: dispatcher.node_failures),
+            ("node_joins", "Back-ends (re)joined to the routing set", lambda: dispatcher.node_joins),
+        ):
+            registry.counter(f"lard_dispatcher_{name}_total", help_text, fn=read)
+        registry.gauge(
+            "lard_in_flight_connections",
+            "Admitted connections not yet completed",
+            fn=lambda: dispatcher.in_flight,
+        )
+        for node, backend in enumerate(self.backends):
+            labels = {"node": str(node)}
+            registry.gauge(
+                "lard_backend_connections",
+                "Active connections per back-end (the policy's load)",
+                labels=labels,
+                fn=lambda n=node: dispatcher.loads[n],
+            )
+            registry.gauge(
+                "lard_backend_alive",
+                "1 when the back-end is in the routing set",
+                labels=labels,
+                fn=lambda n=node: 1.0 if dispatcher.is_alive(n) else 0.0,
+            )
+            registry.counter(
+                "lard_backend_requests_total",
+                "Requests served per back-end",
+                labels=labels,
+                fn=lambda b=backend: b.stats.requests_served,
+            )
+            registry.counter(
+                "lard_backend_cache_hits_total",
+                "Cache hits per back-end",
+                labels=labels,
+                fn=lambda b=backend: b.stats.cache_hits,
+            )
+            registry.counter(
+                "lard_backend_cache_misses_total",
+                "Cache misses per back-end",
+                labels=labels,
+                fn=lambda b=backend: b.stats.cache_misses,
+            )
+        fe.metrics = registry
+        fe.handoff_latency = registry.histogram(
+            "lard_handoff_latency_seconds",
+            "Accept-to-handoff latency (paper Section 6.2)",
+        )
+        if self.health is not None:
+            health = self.health
+            registry.counter(
+                "lard_health_probes_total",
+                "Heartbeat probes sent",
+                fn=lambda: health.stats.probes,
+            )
+            registry.counter(
+                "lard_health_probe_failures_total",
+                "Heartbeat probes that failed",
+                fn=lambda: health.stats.probe_failures,
+            )
+            registry.counter(
+                "lard_health_marks_down_total",
+                "Down-transitions (failure detection)",
+                fn=lambda: health.stats.marks_down,
+            )
+            registry.counter(
+                "lard_health_marks_up_total",
+                "Up-transitions (recovery)",
+                fn=lambda: health.stats.marks_up,
+            )
+            health.probe_latency = registry.histogram(
+                "lard_health_probe_seconds",
+                "Heartbeat probe latency",
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -168,6 +277,8 @@ class HandoffCluster:
         for backend in self.backends:
             if backend.running:
                 backend.stop()
+        if self.trace_writer is not None:
+            self.trace_writer.close()
         self._started = False
 
     def __enter__(self) -> "HandoffCluster":

@@ -38,10 +38,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.base import PolicyError
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.span import Span, SpanWriter
 from .backend import BackendServer, BackendUnavailableError, HandoffItem
 from .dispatcher import Dispatcher
 from .docroot import DocumentStore
-from .http import HTTPError, build_response, parse_request_head
+from .http import HTTPError, HTTPRequest, build_response, parse_request_head
 
 __all__ = ["FrontEndServer", "FrontEndStats"]
 
@@ -134,6 +136,15 @@ class FrontEndServer:
         self._running = False
         self.stats = FrontEndStats()
         self._stats_lock = threading.Lock()
+        #: Wired by the cluster: when set, ``GET /metrics`` is answered
+        #: by the front-end itself (Prometheus text format) instead of
+        #: being handed to a back-end.
+        self.metrics: Optional[MetricsRegistry] = None
+        #: Wired by the cluster alongside ``metrics``: accept-to-handoff
+        #: latency observations (the Section 6.2 hand-off latency).
+        self.handoff_latency: Optional[Histogram] = None
+        #: Wired by the cluster when span tracing is on.
+        self.trace_writer: Optional[SpanWriter] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -204,23 +215,46 @@ class FrontEndServer:
                     return
                 data += chunk
                 request = parse_request_head(data)
+            if request.target == "/metrics" and self.metrics is not None:
+                # Observability endpoint: served by the front-end itself,
+                # outside admission control, so a scrape can never steal a
+                # back-end slot or skew the hand-off counters it reports.
+                self._serve_metrics(conn, request)
+                return
             size = 0
             if self.store is not None:
                 size = self.store.size_of(request.target) or 0
+            writer = self.trace_writer
+            inspected_at = writer.clock() if writer is not None else 0.0
             node = self.dispatcher.admit(request.target, size, timeout=self.admit_timeout_s)
             if node is None:
                 # Admission control timed out: tell the client instead of
                 # silently dropping the connection.
                 with self._stats_lock:
                     self.stats.rejected += 1
+                if writer is not None:
+                    span = self._begin_span(
+                        writer, request, size, -1, accepted_at, inspected_at
+                    )
+                    span.outcome = "rejected"
+                    span.t_complete = writer.clock()
+                    writer.write_span(span)
                 self._refuse(conn, b"admission queue full")
                 return
-            item = HandoffItem(conn=conn, buffered=data, request=request)
+            span = None
+            if writer is not None:
+                span = self._begin_span(
+                    writer, request, size, node, accepted_at, inspected_at
+                )
+            item = HandoffItem(conn=conn, buffered=data, request=request, span=span)
             if self._dispatch(item, node, request.target, size):
                 elapsed = time.perf_counter() - accepted_at
                 with self._stats_lock:
                     self.stats.handoffs += 1
                     self.stats.handoff_time_total_s += elapsed
+                hist = self.handoff_latency
+                if hist is not None:
+                    hist.observe(elapsed)
         except HTTPError as exc:
             with self._stats_lock:
                 self.stats.errors += 1
@@ -236,6 +270,60 @@ class FrontEndServer:
                 conn.close()
             except OSError:
                 pass
+
+    # -- observability ----------------------------------------------------------
+
+    def _serve_metrics(self, conn: socket.socket, request: HTTPRequest) -> None:
+        """Answer ``GET /metrics`` with the registry's text exposition."""
+        registry = self.metrics
+        body = registry.render().encode("utf-8") if registry is not None else b""
+        try:
+            conn.sendall(
+                build_response(
+                    200,
+                    body,
+                    version=request.version,
+                    extra_headers={
+                        "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+                    },
+                )
+            )
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _begin_span(
+        self,
+        writer: SpanWriter,
+        request: HTTPRequest,
+        size: int,
+        node: int,
+        accepted_at: float,
+        inspected_at: float,
+    ) -> Span:
+        """Open a span at the dispatch decision: arrival is the accept
+        time, ``inspect`` covers the head read, ``admit`` the admission
+        wait.  ``node`` is -1 when admission rejected the request."""
+        t_arrival = max(0.0, writer.at(accepted_at))
+        t_inspect = max(t_arrival, inspected_at)
+        t_dispatch = max(t_inspect, writer.clock())
+        return Span(
+            req=writer.next_req(),
+            target=request.target,
+            size=size,
+            policy=str(getattr(self.dispatcher.policy, "name", "")),
+            node=node,
+            t_arrival=t_arrival,
+            t_dispatch=t_dispatch,
+            load=self.dispatcher.loads,
+            phases={
+                "inspect": t_inspect - t_arrival,
+                "admit": t_dispatch - t_inspect,
+            },
+        )
 
     # -- failover (paper Section 2.6) ------------------------------------------
 
@@ -288,8 +376,21 @@ class FrontEndServer:
         self.dispatcher.abort(node, target, size)
         with self._stats_lock:
             self.stats.rejected += 1
+        self._finish_rejected_span(item, node)
         self._refuse(item.conn, b"no back-end available")
         return False
+
+    def _finish_rejected_span(self, item: HandoffItem, node: int) -> None:
+        """Close out a span whose connection the cluster gave up on."""
+        writer = self.trace_writer
+        span = item.span
+        if writer is None or span is None:
+            return
+        span.node = node
+        span.outcome = "rejected"
+        span.t_complete = max(span.t_dispatch, writer.clock())
+        writer.write_span(span)
+        item.span = None
 
     def failover_item(self, item: HandoffItem, from_node: int) -> None:
         """Re-dispatch a connection reclaimed from a failed back-end.
@@ -309,6 +410,7 @@ class FrontEndServer:
             self.dispatcher.abort(from_node, target)
             with self._stats_lock:
                 self.stats.rejected += 1
+            self._finish_rejected_span(item, from_node)
             self._refuse(item.conn, b"no back-end available")
             return
         if self._dispatch(item, node, target, 0):

@@ -31,7 +31,10 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+import time
+
 from ..core.base import PolicyError
+from ..obs.metrics import Histogram
 from .backend import BackendServer
 from .dispatcher import Dispatcher
 
@@ -96,6 +99,9 @@ class HealthMonitor:
         self.on_down = on_down
         self.on_up = on_up
         self.stats = HealthStats(failure_streaks=[0] * len(self.backends))
+        #: Wired by the cluster: per-probe latency observations (the
+        #: health-check latency series on ``/metrics``).
+        self.probe_latency: Optional[Histogram] = None
         self._success_streak = [0] * len(self.backends)
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -130,10 +136,14 @@ class HealthMonitor:
         """One heartbeat round over every back-end (also callable from tests
         for deterministic detection without waiting out the interval)."""
         for node, backend in enumerate(self.backends):
+            probe_start = time.perf_counter()
             try:
                 ok = backend.heartbeat()
             except Exception:
                 ok = False
+            hist = self.probe_latency
+            if hist is not None:
+                hist.observe(time.perf_counter() - probe_start)
             with self._lock:
                 self.stats.probes += 1
                 if ok:

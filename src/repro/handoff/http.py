@@ -63,6 +63,10 @@ def parse_request_head(data: bytes) -> Optional[HTTPRequest]:
         if len(data) > _MAX_HEAD_BYTES:
             raise HTTPError(431, "request head too large")
         return None
+    # The limit applies to the parsed head too: a complete oversized head
+    # arriving in one buffer must be rejected, not accepted.
+    if end + len(HEAD_TERMINATOR) > _MAX_HEAD_BYTES:
+        raise HTTPError(431, "request head too large")
     head = data[:end]
     try:
         text = head.decode("latin-1")
@@ -82,7 +86,14 @@ def parse_request_head(data: bytes) -> Optional[HTTPRequest]:
         name, sep, value = line.partition(":")
         if not sep:
             raise HTTPError(400, f"malformed header line: {line!r}")
-        headers[name.strip().lower()] = value.strip()
+        key = name.strip().lower()
+        folded = value.strip()
+        # RFC 9110 Section 5.2: a repeated field is equivalent to one
+        # field whose value is the comma-joined list — fold, don't drop.
+        if key in headers:
+            headers[key] = f"{headers[key]}, {folded}"
+        else:
+            headers[key] = folded
     return HTTPRequest(
         method=method.upper(),
         target=target,

@@ -57,7 +57,7 @@ _SCOPE_CHECKS = (
 )
 
 _DETERMINISM_PACKAGES = frozenset({"sim", "core", "cache", "cluster", "workload"})
-_CONCURRENCY_PACKAGES = frozenset({"handoff"})
+_CONCURRENCY_PACKAGES = frozenset({"handoff", "obs"})
 
 _hierarchy_cache: Dict[Path, Tuple[str, ...]] = {}
 

@@ -1,0 +1,68 @@
+"""Shared observability layer: request spans, metrics, and analysis.
+
+One schema serves both halves of the reproduction — the discrete-event
+simulator and the live TCP hand-off prototype:
+
+* :mod:`repro.obs.span` — per-request span records and the streaming
+  JSONL writer/reader;
+* :mod:`repro.obs.tracer` — the simulator-side emitter (sanitizer-style
+  attach-from-outside hook, byte-identical results);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with Prometheus
+  text exposition, served at ``/metrics`` by the live front-end;
+* :mod:`repro.obs.analyze` — where-time-went breakdowns and delay
+  distributions over span logs.
+"""
+
+from .analyze import (
+    delay_stats,
+    format_report,
+    nearest_rank,
+    outcome_counts,
+    where_time_went,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .span import (
+    OUTCOMES,
+    SCHEMA_VERSION,
+    SchemaError,
+    Span,
+    SpanLog,
+    SpanWriter,
+    parse_span_log,
+    read_span_log,
+    validate_record,
+)
+from .tracer import SimTracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "OUTCOMES",
+    "Span",
+    "SpanLog",
+    "SpanWriter",
+    "SchemaError",
+    "validate_record",
+    "parse_span_log",
+    "read_span_log",
+    "SimTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricError",
+    "parse_prometheus",
+    "DEFAULT_BUCKETS",
+    "nearest_rank",
+    "where_time_went",
+    "delay_stats",
+    "outcome_counts",
+    "format_report",
+]

@@ -1,0 +1,390 @@
+"""Counters, gauges, and histograms with Prometheus text exposition.
+
+The live hand-off cluster serves this registry at ``GET /metrics`` on
+the front-end (text format version 0.0.4), covering the runtime state
+the paper's Section 5.2 measurements need — per-backend connections,
+hand-offs, failovers, health-check latencies — without adding any
+dependency: the exposition format is a few lines of text.
+
+Two ways to feed an instrument:
+
+* *observed* — call :meth:`Counter.inc` / :meth:`Gauge.set` /
+  :meth:`Histogram.observe` from the instrumented code path;
+* *callback* — pass ``fn`` at registration and the instrument reads the
+  authoritative value at scrape time.  The live cluster uses callbacks
+  for everything that already has a locked stats structure
+  (``FrontEndStats``, ``Dispatcher`` counters, per-backend stats), so
+  the scrape can never drift from the counters tests assert against.
+
+:func:`parse_prometheus` is the matching reader, used by tests to prove
+the exposition is machine-parsable and by the analysis tooling to diff
+scrapes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricError",
+    "parse_prometheus",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): spans hand-off latencies from
+#: tens of microseconds to the health monitor's slowest tolerated probe.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+class MetricError(ValueError):
+    """Invalid metric registration or update."""
+
+
+def _canonical_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_NAME_RE.match(name):
+            raise MetricError(f"invalid label name {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{value.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count (or a callback to one)."""
+
+    __guarded_by__ = {"_value": "_lock"}
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise MetricError(f"counters only go up; inc({amount}) is invalid")
+        if self._fn is not None:
+            raise MetricError("callback-backed counters cannot be inc()ed")
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        """The current count (reads the callback when callback-backed)."""
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (or a callback to one)."""
+
+    __guarded_by__ = {"_value": "_lock"}
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        if self._fn is not None:
+            raise MetricError("callback-backed gauges cannot be set()")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge by ``amount`` (negative moves it down)."""
+        if self._fn is not None:
+            raise MetricError("callback-backed gauges cannot be inc()ed")
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        """The current value (reads the callback when callback-backed)."""
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values."""
+
+    __guarded_by__ = {
+        "_bucket_counts": "_lock",
+        "_sum": "_lock",
+        "_count": "_lock",
+    }
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"duplicate bucket bounds: {bounds}")
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    break
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """(cumulative per-bucket counts, sum, count) at this instant."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total, count = self._sum, self._count
+        cumulative: List[int] = []
+        running = 0
+        for n in counts:
+            running += n
+            cumulative.append(running)
+        return cumulative, total, count
+
+
+class _Family:
+    """All children of one metric name (distinct label sets)."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: "Dict[Labels, object]" = {}
+
+
+class MetricsRegistry:
+    """Instrument registration plus text-format rendering.
+
+    Registration order is preserved in the exposition so scrapes diff
+    cleanly run to run.  Registering the same ``(name, labels)`` pair
+    twice is an error — it would silently split updates across two
+    instruments.
+    """
+
+    __guarded_by__ = {"_families": "_lock"}
+
+    def __init__(self, namespace: str = "") -> None:
+        if namespace and not _NAME_RE.match(namespace):
+            raise MetricError(f"invalid metric namespace {namespace!r}")
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]],
+        instrument: object,
+    ) -> None:
+        if self.namespace:
+            name = f"{self.namespace}_{name}"
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        key = _canonical_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise MetricError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            if key in family.children:
+                raise MetricError(f"metric {name!r} with labels {key!r} already exists")
+            family.children[key] = instrument
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Counter:
+        """Register a counter (observed, or callback-backed via ``fn``)."""
+        instrument = Counter(fn=fn)
+        self._register(name, "counter", help_text, labels, instrument)
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Register a gauge (observed, or callback-backed via ``fn``)."""
+        instrument = Gauge(fn=fn)
+        self._register(name, "gauge", help_text, labels, instrument)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Register a histogram with the given bucket upper bounds."""
+        instrument = Histogram(buckets=buckets)
+        self._register(name, "histogram", help_text, labels, instrument)
+        return instrument
+
+    # -- exposition ------------------------------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text format (version 0.0.4)."""
+        with self._lock:
+            families = [
+                (family, list(family.children.items()))
+                for family in self._families.values()
+            ]
+        lines: List[str] = []
+        for family, children in families:
+            help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, instrument in children:
+                if isinstance(instrument, Histogram):
+                    cumulative, total, count = instrument.snapshot()
+                    for bound, running in zip(instrument.buckets, cumulative):
+                        label_str = _format_labels(labels, ("le", _format_value(bound)))
+                        lines.append(
+                            f"{family.name}_bucket{label_str} {running}"
+                        )
+                    label_str = _format_labels(labels, ("le", "+Inf"))
+                    lines.append(f"{family.name}_bucket{label_str} {count}")
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(labels)} "
+                        f"{_format_value(total)}"
+                    )
+                    lines.append(f"{family.name}_count{_format_labels(labels)} {count}")
+                elif isinstance(instrument, (Counter, Gauge)):
+                    lines.append(
+                        f"{family.name}{_format_labels(labels)} "
+                        f"{_format_value(instrument.value())}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Labels], float]:
+    """Parse a text-format exposition into ``(name, labels) -> value``.
+
+    Histogram series appear under their exploded sample names
+    (``*_bucket`` with an ``le`` label, ``*_sum``, ``*_count``).  Raises
+    :class:`MetricError` on any line that is not a valid sample or
+    comment, which is what makes this usable as a conformance check.
+    """
+    samples: Dict[Tuple[str, Labels], float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise MetricError(f"line {number}: unparsable sample: {line!r}")
+        labels_text = match.group("labels")
+        labels: List[Tuple[str, str]] = []
+        if labels_text:
+            remainder = labels_text
+            while remainder:
+                pair = _LABEL_RE.match(remainder)
+                if pair is None:
+                    raise MetricError(
+                        f"line {number}: malformed labels: {labels_text!r}"
+                    )
+                labels.append(
+                    (
+                        pair.group(1),
+                        pair.group(2).replace('\\"', '"').replace("\\\\", "\\"),
+                    )
+                )
+                remainder = remainder[pair.end() :].lstrip(", ")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError as exc:
+            raise MetricError(f"line {number}: bad value: {line!r}") from exc
+        samples[(match.group("name"), tuple(sorted(labels)))] = value
+    return samples

@@ -107,6 +107,11 @@ def parse_common_log(
     Returns the trace and the per-line parse statistics.
     """
     stats = LogParseStats()
+    # Normalize the filters once: parsed methods are upper-cased before
+    # the membership check, so lowercase filter entries would silently
+    # drop every line; statuses passed as strings would do the same.
+    method_filter = frozenset(method.upper() for method in methods)
+    status_filter = frozenset(int(status) for status in statuses)
     entries: List[Tuple[str, int]] = []
     for line in _iter_lines(source):
         line = line.strip()
@@ -122,11 +127,11 @@ def parse_common_log(
             stats.malformed += 1
             continue
         method, url = request[0], request[1]
-        if method.upper() not in methods:
+        if method.upper() not in method_filter:
             stats.skipped_method += 1
             continue
         status = int(match.group("status"))
-        if status not in statuses:
+        if status not in status_filter:
             stats.skipped_status += 1
             continue
         raw_bytes = match.group("bytes")

@@ -212,6 +212,25 @@ class TestDelayPercentiles:
             result.mean_delay_s
         )
 
+    def test_nearest_rank_boundaries(self):
+        """Ceil-based nearest-rank: p0 -> min, p100 -> max, and p50 of an
+        even-length sample is the lower middle (rank ceil(n/2)), never an
+        out-of-range index."""
+        from dataclasses import replace
+
+        result = run_simulation(
+            _trace(100), policy="wrr", num_nodes=2, node_cache_bytes=CACHE,
+            collect_delays=True,
+        )
+        fixed = replace(result, delays_s=(1.0, 2.0, 3.0, 4.0))
+        assert fixed.delay_percentile_s(0) == 1.0
+        assert fixed.delay_percentile_s(50) == 2.0
+        assert fixed.delay_percentile_s(100) == 4.0
+        assert fixed.delay_percentile_s(75) == 3.0
+        single = replace(result, delays_s=(7.0,))
+        assert single.delay_percentile_s(0) == 7.0
+        assert single.delay_percentile_s(100) == 7.0
+
     def test_percentiles_require_collection(self):
         trace = _trace(500)
         result = run_simulation(trace, policy="wrr", num_nodes=2, node_cache_bytes=CACHE)

@@ -48,6 +48,21 @@ class TestParse:
             parse_request_head(b"GET /" + b"x" * 20000)
         assert exc.value.status == 431
 
+    def test_oversized_but_complete_head(self):
+        # A terminated head past the limit must still 431: the limit is
+        # on the head itself, not only on unterminated buffers.
+        head = b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * 17000 + b"\r\n\r\n"
+        with pytest.raises(HTTPError) as exc:
+            parse_request_head(head)
+        assert exc.value.status == 431
+
+    def test_head_exactly_at_limit_accepted(self):
+        prefix = b"GET / HTTP/1.1\r\nX-Pad: "
+        head = prefix + b"x" * (16384 - len(prefix) - 4) + b"\r\n\r\n"
+        assert len(head) == 16384
+        req = parse_request_head(head)
+        assert req.head_bytes == 16384
+
     def test_malformed_header_line(self):
         with pytest.raises(HTTPError):
             parse_request_head(b"GET / HTTP/1.0\r\nbadheader\r\n\r\n")
@@ -55,6 +70,23 @@ class TestParse:
     def test_method_uppercased(self):
         req = parse_request_head(b"get / HTTP/1.1\r\n\r\n")
         assert req.method == "GET"
+
+    def test_duplicate_headers_folded(self):
+        # RFC 9110 Section 5.2: repeated field lines combine into one
+        # comma-separated value, in order.
+        req = parse_request_head(
+            b"GET / HTTP/1.1\r\n"
+            b"Accept: text/html\r\n"
+            b"Accept: text/plain\r\n"
+            b"Accept: */*\r\n\r\n"
+        )
+        assert req.headers["accept"] == "text/html, text/plain, */*"
+
+    def test_duplicate_headers_fold_case_insensitively(self):
+        req = parse_request_head(
+            b"GET / HTTP/1.1\r\nX-Tag: a\r\nx-tag: b\r\n\r\n"
+        )
+        assert req.headers["x-tag"] == "a, b"
 
 
 class TestKeepAlive:

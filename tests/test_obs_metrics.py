@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry and Prometheus text exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(MetricError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_callback_counter_reads_source(self):
+        box = {"n": 0}
+        c = Counter(fn=lambda: box["n"])
+        box["n"] = 7
+        assert c.value() == 7.0
+        with pytest.raises(MetricError, match="callback"):
+            c.inc()
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == pytest.approx(3.0)
+
+    def test_callback_gauge_rejects_writes(self):
+        g = Gauge(fn=lambda: 1.0)
+        with pytest.raises(MetricError):
+            g.set(2)
+        with pytest.raises(MetricError):
+            g.inc()
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        cumulative, total, count = h.snapshot()
+        assert cumulative == [1, 3, 4]  # 50.0 only lands in +Inf
+        assert count == 5
+        assert total == pytest.approx(56.05)
+
+    def test_histogram_validates_buckets(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=())
+        with pytest.raises(MetricError, match="duplicate"):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_histogram_thread_safe_counts(self):
+        h = Histogram(buckets=DEFAULT_BUCKETS)
+
+        def pound():
+            for _ in range(500):
+                h.observe(0.01)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        _, _, count = h.snapshot()
+        assert count == 2000
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "requests")
+        with pytest.raises(MetricError, match="already exists"):
+            registry.counter("requests_total", "requests")
+
+    def test_same_name_distinct_labels_ok(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("load", "per-node load", labels={"node": "0"})
+        b = registry.gauge("load", "per-node load", labels={"node": "1"})
+        assert a is not b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x")
+        with pytest.raises(MetricError, match="already registered as counter"):
+            registry.gauge("x_total", "x", labels={"node": "0"})
+
+    def test_namespace_prefixes_names(self):
+        registry = MetricsRegistry(namespace="lard")
+        registry.counter("handoffs_total", "hand-offs").inc(3)
+        assert ("lard_handoffs_total", ()) in parse_prometheus(registry.render())
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("bad name", "nope")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "nope", labels={"bad-label": "x"})
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "requests").inc(41)
+        registry.gauge("in_flight", "live connections").set(3)
+        for node in range(2):
+            registry.gauge(
+                "backend_connections",
+                "per-backend active connections",
+                labels={"node": str(node)},
+                fn=lambda n=node: n + 10,
+            )
+        hist = registry.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+
+        samples = parse_prometheus(registry.render())
+        assert samples[("requests_total", ())] == 41.0
+        assert samples[("in_flight", ())] == 3.0
+        assert samples[("backend_connections", (("node", "0"),))] == 10.0
+        assert samples[("backend_connections", (("node", "1"),))] == 11.0
+        assert samples[("latency_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("latency_seconds_bucket", (("le", "1"),))] == 2.0
+        assert samples[("latency_seconds_bucket", (("le", "+Inf"),))] == 2.0
+        assert samples[("latency_seconds_sum", ())] == pytest.approx(0.55)
+        assert samples[("latency_seconds_count", ())] == 2.0
+
+    def test_help_and_type_lines_present(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "total requests served")
+        text = registry.render()
+        assert "# HELP requests_total total requests served" in text
+        assert "# TYPE requests_total counter" in text
+
+    def test_inf_bucket_counts_everything(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "h", buckets=(0.001,))
+        hist.observe(100.0)
+        samples = parse_prometheus(registry.render())
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 1.0
+        assert samples[("h_bucket", (("le", "0.001"),))] == 0.0
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c", labels={"path": 'a"b\\c'}).inc()
+        samples = parse_prometheus(registry.render())
+        assert samples[("c_total", (("path", 'a"b\\c'),))] == 1.0
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(MetricError, match="unparsable"):
+            parse_prometheus("this is not prometheus\n")
+        with pytest.raises(MetricError, match="bad value"):
+            parse_prometheus("ok_metric twelve\n")
+
+    def test_parser_special_values(self):
+        samples = parse_prometheus("a +Inf\nb -Inf\nc NaN\n")
+        assert samples[("a", ())] == math.inf
+        assert samples[("b", ())] == -math.inf
+        assert math.isnan(samples[("c", ())])

@@ -1,0 +1,142 @@
+"""Span tracing in the simulator: complete, exact, and perturbation-free.
+
+Tracing follows the sanitizer's read-only contract: a traced run must
+produce a :class:`SimulationResult` equal to the untraced run, down to
+the exported CSV bytes, while the span log it emits must account for
+every request and reproduce the run's aggregate delay *exactly* (the
+tracer observes the same floats the accounting path adds up).
+"""
+
+import pytest
+
+from repro.analysis.sweep import result_row, write_csv
+from repro.cluster import run_simulation
+from repro.obs import read_span_log
+from repro.workload import synthesize_trace
+
+CACHE = 256 * 1024
+
+
+def _trace(n_requests=1500, seed=7):
+    return synthesize_trace(n_requests, 150, 4 * 10**6, 1.0, seed=seed)
+
+
+def _run_traced(tmp_path, trace, name="spans.jsonl", **kwargs):
+    path = tmp_path / name
+    result = run_simulation(trace, trace_out=path, **kwargs)
+    return result, read_span_log(path)
+
+
+KWARGS = dict(policy="lard/r", num_nodes=3, node_cache_bytes=CACHE)
+
+
+class TestReadOnlyContract:
+    def test_traced_result_equals_untraced(self, tmp_path):
+        trace = _trace()
+        plain = run_simulation(trace, **KWARGS)
+        traced, log = _run_traced(tmp_path, trace, **KWARGS)
+        assert traced == plain
+        assert len(log.spans) == len(trace)
+
+    def test_traced_csv_is_byte_identical(self, tmp_path):
+        trace = _trace()
+        plain = run_simulation(trace, **KWARGS)
+        traced, _ = _run_traced(tmp_path, trace, **KWARGS)
+        paths = [
+            write_csv([result_row(result, {"run": 0})], tmp_path / f"{tag}.csv")
+            for tag, result in (("plain", plain), ("traced", traced))
+        ]
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    @pytest.mark.parametrize("policy", ["lard", "wrr", "wrr/gms", "lb"])
+    def test_every_policy_unperturbed(self, tmp_path, policy):
+        trace = _trace(800)
+        kwargs = dict(policy=policy, num_nodes=3, node_cache_bytes=CACHE)
+        plain = run_simulation(trace, **kwargs)
+        traced, log = _run_traced(tmp_path, trace, **kwargs)
+        assert traced == plain
+        assert len(log.spans) == 800
+
+    def test_persistent_connections_unperturbed(self, tmp_path):
+        trace = _trace(1000)
+        kwargs = dict(
+            policy="lard/r",
+            num_nodes=3,
+            node_cache_bytes=CACHE,
+            requests_per_connection=4,
+            persistent_policy="rehandoff",
+        )
+        plain = run_simulation(trace, **kwargs)
+        traced, log = _run_traced(tmp_path, trace, **kwargs)
+        assert traced == plain
+        assert len(log.spans) == 1000
+
+
+class TestSpanContent:
+    def test_delays_sum_to_total_exactly(self, tmp_path):
+        trace = _trace()
+        result, log = _run_traced(tmp_path, trace, **KWARGS)
+        # Same floats, same addition order as the accounting path.
+        assert sum(span.delay_s for span in log.spans) == result.total_delay_s
+
+    def test_phases_partition_each_delay(self, tmp_path):
+        _, log = _run_traced(tmp_path, _trace(), **KWARGS)
+        for span in log.spans:
+            assert sum(span.phases.values()) == pytest.approx(
+                span.delay_s, abs=1e-9
+            )
+
+    def test_outcomes_match_cache_counters(self, tmp_path):
+        result, log = _run_traced(tmp_path, _trace(), **KWARGS)
+        hits = sum(1 for s in log.spans if s.outcome == "hit")
+        assert hits == result.cache_hits
+        assert all(s.outcome in {"hit", "miss", "coalesced"} for s in log.spans)
+
+    def test_spans_carry_dispatch_context(self, tmp_path):
+        _, log = _run_traced(tmp_path, _trace(500), **KWARGS)
+        assert log.source == "sim"
+        for span in log.spans:
+            assert span.policy == "lard/r"
+            assert 0 <= span.node < 3
+            assert span.load is not None and len(span.load) == 3
+            assert span.target.isdigit()  # synthetic targets are token ids
+
+    def test_gms_outcomes_surface(self, tmp_path):
+        _, log = _run_traced(
+            tmp_path,
+            _trace(1500),
+            policy="wrr/gms",
+            num_nodes=3,
+            node_cache_bytes=CACHE,
+        )
+        outcomes = {span.outcome for span in log.spans}
+        assert "gms_local" in outcomes or "gms_remote" in outcomes
+
+
+class TestSampling:
+    def test_samples_emitted_on_interval(self, tmp_path):
+        path = tmp_path / "sampled.jsonl"
+        result = run_simulation(
+            _trace(), trace_out=path, sample_interval_s=0.05, **KWARGS
+        )
+        log = read_span_log(path)
+        assert len(log.samples) >= 2
+        times = [float(s["t"]) for s in log.samples]  # type: ignore[arg-type]
+        assert times == sorted(times)
+        assert times[-1] <= result.sim_time_s
+        for sample in log.samples:
+            assert len(sample["load"]) == 3  # type: ignore[arg-type]
+            assert 0.0 <= float(sample["miss_ratio"]) <= 1.0  # type: ignore[arg-type]
+            assert "cpu_queue" in sample and "disk_queue" in sample
+
+    def test_sampling_does_not_perturb_result(self, tmp_path):
+        trace = _trace()
+        plain = run_simulation(trace, **KWARGS)
+        sampled = run_simulation(
+            trace, trace_out=tmp_path / "s.jsonl", sample_interval_s=0.05, **KWARGS
+        )
+        assert sampled == plain
+
+    def test_no_samples_without_interval(self, tmp_path):
+        _, log = _run_traced(tmp_path, _trace(400), **KWARGS)
+        assert log.samples == []

@@ -1,0 +1,171 @@
+"""Unit tests for the span-log schema, writer, and parser."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    OUTCOMES,
+    SCHEMA_VERSION,
+    SchemaError,
+    Span,
+    SpanWriter,
+    parse_span_log,
+    read_span_log,
+    validate_record,
+)
+
+
+def _span(**overrides):
+    base = dict(
+        req=0,
+        target="/index.html",
+        size=1024,
+        policy="lard/r",
+        node=2,
+        t_arrival=1.0,
+        t_dispatch=1.25,
+        t_complete=2.0,
+        outcome="hit",
+        load=[3, 1, 4],
+        phases={"establish": 0.25, "cpu": 0.75},
+    )
+    base.update(overrides)
+    return Span(**base)
+
+
+class TestSchema:
+    def test_round_trip(self):
+        span = _span()
+        assert Span.from_record(span.to_record()) == span
+
+    def test_round_trip_through_json(self):
+        span = _span()
+        record = json.loads(json.dumps(span.to_record()))
+        assert Span.from_record(record) == span
+
+    def test_delay_is_arrival_to_completion(self):
+        assert _span().delay_s == pytest.approx(1.0)
+
+    def test_load_omitted_when_none(self):
+        record = _span(load=None).to_record()
+        assert "load" not in record
+        assert Span.from_record(record).load is None
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(SchemaError, match="outcome"):
+            validate_record(_span(outcome="teleported").to_record())
+
+    def test_every_declared_outcome_accepted(self):
+        for outcome in OUTCOMES:
+            validate_record(_span(outcome=outcome).to_record())
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(SchemaError, match="t_complete"):
+            validate_record(_span(t_complete=0.5).to_record())
+        with pytest.raises(SchemaError, match="t_arrival"):
+            validate_record(_span(t_arrival=-1.0, t_dispatch=-0.5).to_record())
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(SchemaError, match="negative"):
+            validate_record(_span(phases={"cpu": -0.1}).to_record())
+
+    def test_non_integer_load_rejected(self):
+        record = _span().to_record()
+        record["load"] = [1, "two"]
+        with pytest.raises(SchemaError, match="load"):
+            validate_record(record)
+
+    def test_bool_is_not_a_number(self):
+        record = _span().to_record()
+        record["t_arrival"] = True
+        with pytest.raises(SchemaError):
+            validate_record(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            validate_record({"kind": "trace"})
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(SchemaError, match="schema version"):
+            validate_record({"kind": "meta", "schema": 99, "source": "sim"})
+
+
+class TestWriter:
+    def test_meta_line_first(self):
+        sink = io.StringIO()
+        with SpanWriter(sink, source="live") as writer:
+            writer.write_span(_span())
+        lines = sink.getvalue().splitlines()
+        meta = json.loads(lines[0])
+        assert meta == {"kind": "meta", "schema": SCHEMA_VERSION, "source": "live"}
+        assert json.loads(lines[1])["kind"] == "span"
+
+    def test_counts(self):
+        sink = io.StringIO()
+        with SpanWriter(sink) as writer:
+            writer.write_span(_span())
+            writer.write_sample(1.0, {"load": [1, 2]})
+        assert writer.spans_written == 1
+        assert writer.records_written == 3  # meta + span + sample
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            SpanWriter(io.StringIO(), source="dream")
+
+    def test_writes_after_close_dropped(self):
+        sink = io.StringIO()
+        writer = SpanWriter(sink)
+        writer.close()
+        writer.write_span(_span())
+        assert len(sink.getvalue().splitlines()) == 1  # just the meta line
+
+    def test_next_req_unique_across_threads(self):
+        writer = SpanWriter(io.StringIO())
+        seen = []
+
+        def take():
+            for _ in range(200):
+                seen.append(writer.next_req())
+
+        threads = [threading.Thread(target=take) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 800
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanWriter(path, source="sim") as writer:
+            writer.write_span(_span(req=0))
+            writer.write_span(_span(req=1, outcome="miss"))
+            writer.write_sample(2.0, {"in_flight": 3})
+        log = read_span_log(path)
+        assert log.source == "sim"
+        assert [span.req for span in log.spans] == [0, 1]
+        assert log.samples[0]["in_flight"] == 3
+        assert log.total_delay_s == pytest.approx(2.0)
+
+
+class TestParser:
+    def test_missing_meta_rejected(self):
+        with pytest.raises(SchemaError, match="no meta"):
+            parse_span_log([json.dumps(_span().to_record())])
+
+    def test_duplicate_meta_rejected(self):
+        meta = json.dumps({"kind": "meta", "schema": SCHEMA_VERSION, "source": "sim"})
+        with pytest.raises(SchemaError, match="duplicate meta"):
+            parse_span_log([meta, meta])
+
+    def test_invalid_json_names_line(self):
+        meta = json.dumps({"kind": "meta", "schema": SCHEMA_VERSION, "source": "sim"})
+        with pytest.raises(SchemaError, match="line 2"):
+            parse_span_log([meta, "{not json"])
+
+    def test_blank_lines_skipped(self):
+        meta = json.dumps({"kind": "meta", "schema": SCHEMA_VERSION, "source": "sim"})
+        log = parse_span_log(["", meta, "   ", json.dumps(_span().to_record())])
+        assert len(log.spans) == 1

@@ -102,6 +102,19 @@ def test_empty_log_rejected():
         parse_common_log("garbage only")
 
 
+def test_method_filter_case_insensitive():
+    # parse stores methods upper-cased; a lowercase filter must still match.
+    trace, stats = parse_common_log(LINE, methods=("get",))
+    assert len(trace) == 1
+    assert stats.skipped_method == 0
+
+
+def test_status_filter_accepts_strings():
+    trace, stats = parse_common_log(LINE, statuses=("200", 304))
+    assert len(trace) == 1
+    assert stats.skipped_status == 0
+
+
 def test_tokenize_entries_direct():
     trace = tokenize_entries([("/a", 10), ("/b", 20), ("/a", 0)])
     assert trace.num_targets == 2

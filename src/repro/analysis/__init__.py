@@ -18,6 +18,13 @@ from .experiments import (
     run_experiment,
     set_parallel_jobs,
 )
+from .chaos import (
+    DEFAULT_CHAOS_POLICIES,
+    SCORECARD_COLUMNS,
+    ChaosScenario,
+    build_scenarios,
+    run_chaos_campaign,
+)
 from .chart import ascii_chart, experiment_chart
 from .parallel import ParallelExecutionError, default_jobs, run_many
 from .report import ExperimentResult, format_table
@@ -47,4 +54,9 @@ __all__ = [
     "ParallelExecutionError",
     "prefetch_cells",
     "set_parallel_jobs",
+    "run_chaos_campaign",
+    "build_scenarios",
+    "ChaosScenario",
+    "DEFAULT_CHAOS_POLICIES",
+    "SCORECARD_COLUMNS",
 ]

@@ -1,0 +1,263 @@
+"""Seeded chaos campaigns: race policies across fault scenarios.
+
+A *campaign* runs every policy under test against the same seeded
+:class:`~repro.cluster.faults.FaultSchedule` scenarios and reduces each
+run to a scorecard row — availability, lost/retried requests, goodput,
+and time-to-recovery of throughput, miss ratio, and p99 delay after the
+last disruption.  Scenarios are generated deterministically from the
+campaign seed (and scaled to the workload's fault-free duration), so a
+scorecard is byte-reproducible across reruns and across ``--jobs``
+fan-out — the property the ``chaos-sim-smoke`` CI job asserts.
+
+The three stock scenarios stress different failure semantics:
+
+``churn``
+    Moderate MTTF crash/repair process — nodes crash, are detected, and
+    rejoin (cold/warm/aged) while the trace runs.
+``burst``
+    Short MTTF — overlapping and back-to-back crashes, exercising
+    retry exhaustion (lost requests) and repeated membership churn.
+``brownout``
+    No crashes; nodes degrade to a fraction of their CPU/disk rates for
+    intervals, exercising load skew without membership changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import ClusterConfig, SimulationResult
+from ..cluster.faults import FaultSchedule, RetryPolicy, generate_fault_schedule
+from ..cluster.metrics import recovery_time_s
+from ..workload.trace import Trace
+from .parallel import run_many
+
+__all__ = [
+    "DEFAULT_CHAOS_POLICIES",
+    "SCORECARD_COLUMNS",
+    "ChaosScenario",
+    "build_scenarios",
+    "run_chaos_campaign",
+]
+
+#: Policies raced by default: the paper's contenders (LARD, LARD/R,
+#: WRR) plus locality-oblivious least-connections with GC.
+DEFAULT_CHAOS_POLICIES: Tuple[str, ...] = ("lard", "lard/r", "wrr", "lb/gc")
+
+#: Scorecard CSV column order (fixed so reruns are byte-comparable).
+SCORECARD_COLUMNS: Tuple[str, ...] = (
+    "scenario",
+    "policy",
+    "num_nodes",
+    "num_requests",
+    "availability",
+    "lost_requests",
+    "retried_requests",
+    "orphaned_connections",
+    "goodput_rps",
+    "throughput_rps",
+    "cache_miss_ratio",
+    "p99_delay_ms",
+    "recovery_tput_s",
+    "recovery_miss_s",
+    "recovery_p99_s",
+)
+
+#: Recovery thresholds relative to each policy's own fault-free run:
+#: throughput back to 80% of baseline, miss ratio within max(1.5x,
+#: +2pp) of baseline, p99 delay within 1.5x of baseline.
+_TPUT_RECOVERY_FRACTION = 0.8
+_MISS_RECOVERY_FACTOR = 1.5
+_MISS_RECOVERY_SLACK = 0.02
+_P99_RECOVERY_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named, fully materialized fault schedule."""
+
+    name: str
+    schedule: FaultSchedule
+
+
+def build_scenarios(
+    num_nodes: int, duration_s: float, seed: int
+) -> Tuple[ChaosScenario, ...]:
+    """The stock churn/burst/brownout scenarios, scaled to ``duration_s``
+    (a fault-free run's simulated duration) and derived deterministically
+    from ``seed``."""
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    retry = RetryPolicy(
+        max_retries=2,
+        timeout_s=duration_s / 50.0,
+        backoff_base_s=duration_s / 100.0,
+        backoff_cap_s=duration_s / 25.0,
+    )
+    # Faults land inside the first 80% of the fault-free duration so the
+    # tail of the trace observes recovery.
+    window_s = duration_s * 0.8
+    churn = generate_fault_schedule(
+        num_nodes,
+        window_s,
+        seed=seed * 3 + 1,
+        mttf_s=duration_s * 0.6,
+        mttr_s=duration_s * 0.10,
+        detect_s=duration_s * 0.03,
+        retry=retry,
+    )
+    burst = generate_fault_schedule(
+        num_nodes,
+        window_s,
+        seed=seed * 3 + 2,
+        mttf_s=duration_s * 0.3,
+        mttr_s=duration_s * 0.06,
+        detect_s=duration_s * 0.02,
+        retry=retry,
+    )
+    brownout = generate_fault_schedule(
+        num_nodes,
+        window_s,
+        seed=seed * 3 + 3,
+        brownout_mttf_s=duration_s * 0.35,
+        brownout_duration_s=duration_s * 0.15,
+        cpu_factor=0.4,
+        disk_factor=0.4,
+        retry=retry,
+    )
+    return (
+        ChaosScenario("churn", churn),
+        ChaosScenario("burst", burst),
+        ChaosScenario("brownout", brownout),
+    )
+
+
+def _recovery_cell(value: Optional[float]) -> object:
+    return "never" if value is None else value
+
+
+def _scorecard_row(
+    scenario: str,
+    result: SimulationResult,
+    recovery_tput: Optional[float],
+    recovery_miss: Optional[float],
+    recovery_p99: Optional[float],
+) -> Dict[str, object]:
+    p99_s = result.delay_percentile_s(99.0) if result.delays_s else 0.0
+    return {
+        "scenario": scenario,
+        "policy": result.policy,
+        "num_nodes": result.num_nodes,
+        "num_requests": result.num_requests,
+        "availability": result.availability,
+        "lost_requests": result.lost_requests,
+        "retried_requests": result.retried_requests,
+        "orphaned_connections": result.orphaned_connections,
+        "goodput_rps": result.goodput_rps,
+        "throughput_rps": result.throughput_rps,
+        "cache_miss_ratio": result.cache_miss_ratio,
+        "p99_delay_ms": p99_s * 1000.0,
+        "recovery_tput_s": _recovery_cell(recovery_tput),
+        "recovery_miss_s": _recovery_cell(recovery_miss),
+        "recovery_p99_s": _recovery_cell(recovery_p99),
+    }
+
+
+def run_chaos_campaign(
+    trace: Trace,
+    *,
+    num_nodes: int = 4,
+    node_cache_bytes: int,
+    policies: Sequence[str] = DEFAULT_CHAOS_POLICIES,
+    seed: int = 0,
+    jobs: Optional[int] = 1,
+    buckets: int = 40,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[Dict[str, object]]:
+    """Race ``policies`` across the stock fault scenarios.
+
+    Phase 1 runs every policy fault-free (the ``none`` scenario rows,
+    and the per-policy recovery baselines); the shortest fault-free
+    duration then scales the seeded scenarios so every policy faces the
+    *same* fault schedules.  Phase 2 runs every (scenario, policy) cell.
+    Both phases fan out over ``jobs`` worker processes; rows are
+    byte-identical regardless of ``jobs``.
+
+    Returns scorecard rows (``none`` scenario first, then scenario-major
+    in :func:`build_scenarios` order) with the
+    :data:`SCORECARD_COLUMNS` fields.
+    """
+    if not policies:
+        raise ValueError("run_chaos_campaign needs at least one policy")
+    if buckets < 4:
+        raise ValueError(f"buckets must be >= 4, got {buckets}")
+    base_configs = [
+        ClusterConfig(
+            num_nodes=num_nodes,
+            policy=policy,
+            node_cache_bytes=node_cache_bytes,
+            collect_delays=True,
+        )
+        for policy in policies
+    ]
+    baselines = run_many(trace, list(base_configs), jobs=jobs, progress=progress)
+    duration_s = min(result.sim_time_s for result in baselines)
+    interval_s = duration_s / buckets
+    scenarios = build_scenarios(num_nodes, duration_s, seed)
+
+    faulted_configs = [
+        replace(
+            base,
+            fault_schedule=scenario.schedule,
+            timeline_interval_s=interval_s,
+        )
+        for scenario in scenarios
+        for base in base_configs
+    ]
+    faulted = run_many(trace, faulted_configs, jobs=jobs, progress=progress)
+
+    rows: List[Dict[str, object]] = [
+        _scorecard_row("none", result, 0.0, 0.0, 0.0) for result in baselines
+    ]
+    for s_index, scenario in enumerate(scenarios):
+        after_s = scenario.schedule.last_disruption_s
+        for p_index, baseline in enumerate(baselines):
+            result = faulted[s_index * len(baselines) + p_index]
+            degraded = result.degraded
+            if degraded is None:  # pragma: no cover - faulted runs always carry one
+                rows.append(_scorecard_row(scenario.name, result, None, None, None))
+                continue
+            base_p99_s = (
+                baseline.delay_percentile_s(99.0) if baseline.delays_s else 0.0
+            )
+            recovery_tput = recovery_time_s(
+                degraded.throughput_series(),
+                interval_s,
+                after_s,
+                baseline.throughput_rps * _TPUT_RECOVERY_FRACTION,
+                mode="ge",
+            )
+            recovery_miss = recovery_time_s(
+                degraded.miss_ratio_series(),
+                interval_s,
+                after_s,
+                max(
+                    baseline.cache_miss_ratio * _MISS_RECOVERY_FACTOR,
+                    baseline.cache_miss_ratio + _MISS_RECOVERY_SLACK,
+                ),
+                mode="le",
+            )
+            recovery_p99 = recovery_time_s(
+                degraded.p99_delay_series(),
+                interval_s,
+                after_s,
+                base_p99_s * _P99_RECOVERY_FACTOR,
+                mode="le",
+            )
+            rows.append(
+                _scorecard_row(
+                    scenario.name, result, recovery_tput, recovery_miss, recovery_p99
+                )
+            )
+    return rows

@@ -128,6 +128,19 @@ class Cache(abc.ABC):
         for target in list(self._sizes):
             self._remove(target)
 
+    def age(self, fraction: float) -> int:
+        """Evict (policy-ordered) entries until at least ``fraction`` of
+        the currently used bytes are gone — a partially cold restart.
+        Returns the number of entries evicted."""
+        if not 0.0 <= fraction <= 1.0:
+            raise CacheError(f"age fraction must be in [0, 1], got {fraction}")
+        keep_bytes = int(self.used_bytes * (1.0 - fraction))
+        evicted = 0
+        while self.used_bytes > keep_bytes and self._sizes:
+            self._evict_one()
+            evicted += 1
+        return evicted
+
     def __contains__(self, target: Target) -> bool:
         return target in self._sizes
 

@@ -11,9 +11,14 @@ Usage::
     lard-repro simulate --profile sim.pstats
     lard-repro simulate --spans out.jsonl [--sample-interval S]
     lard-repro spans out.jsonl
+    lard-repro chaos [--policies lard,wrr] [--seed N] [--csv out.csv]
     lard-repro lint [paths...] [--list-rules]
 
 (`python -m repro` is equivalent.)
+
+Operator errors (unknown experiment or policy names, missing files,
+invalid fault-schedule configurations) exit with status 2 and a
+one-line ``lard-repro: error: ...`` message rather than a traceback.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import List, Optional
 
 from .analysis import EXPERIMENTS, FULL, QUICK, SMOKE, STANDARD, Scale, run_experiment
 from .cluster import PAPER_NODE_CACHE_BYTES, run_simulation
-from .core import POLICY_NAMES
+from .core import POLICY_NAMES, PolicyError
 from .workload import (
     chess_like_trace,
     ibm_like_trace,
@@ -117,6 +122,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze a span log: where-time-went breakdown and delay distribution",
     )
     spans.add_argument("path", help="JSONL span log (from 'simulate --spans' or a live run)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="race policies across seeded fault scenarios and print a scorecard",
+    )
+    chaos.add_argument("--trace", choices=sorted(_TRACES), default="rice")
+    chaos.add_argument("--requests", type=int, default=50_000)
+    chaos.add_argument("--scale-factor", type=float, default=0.1)
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument(
+        "--policies",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated policies to race (default: lard,lard/r,wrr,lb/gc)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run cells in up to N worker processes (0 = one per CPU; "
+        "the scorecard is identical to --jobs 1)",
+    )
+    chaos.add_argument(
+        "--csv", metavar="OUT.csv", help="also write the scorecard to this CSV file"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -236,32 +268,83 @@ def _cmd_spans(path: str) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .analysis.chaos import (
+        DEFAULT_CHAOS_POLICIES,
+        SCORECARD_COLUMNS,
+        run_chaos_campaign,
+    )
+    from .analysis.report import format_table
+
+    if args.policies is None:
+        policies = list(DEFAULT_CHAOS_POLICIES)
+    else:
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise PolicyError(
+                f"unknown policy {policy!r} (choose from {', '.join(POLICY_NAMES)})"
+            )
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    trace = _make_trace(args.trace, args.requests, args.scale_factor)
+    rows = run_chaos_campaign(
+        trace,
+        num_nodes=args.nodes,
+        node_cache_bytes=int(PAPER_NODE_CACHE_BYTES * args.scale_factor),
+        policies=policies,
+        seed=args.seed,
+        jobs=jobs,
+    )
+    print(
+        f"chaos campaign: trace={args.trace} requests={args.requests} "
+        f"nodes={args.nodes} seed={args.seed}"
+    )
+    print(format_table(SCORECARD_COLUMNS, [[row[c] for c in SCORECARD_COLUMNS] for row in rows]))
+    if args.csv:
+        from .analysis.sweep import write_csv
+
+        path = write_csv(rows, args.csv, columns=SCORECARD_COLUMNS)
+        print(f"scorecard written to {path}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(
+            args.experiment,
+            args.scale,
+            chart=args.chart,
+            jobs=args.jobs,
+            profile=args.profile,
+        )
+    if args.command == "trace":
+        return _cmd_trace(args.kind, args.requests, args.scale_factor)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "spans":
+        return _cmd_spans(args.path)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    if args.command == "lint":
+        from .lint import main as lint_main
+
+        lint_argv = list(args.paths)
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "run":
-            return _cmd_run(
-                args.experiment,
-                args.scale,
-                chart=args.chart,
-                jobs=args.jobs,
-                profile=args.profile,
-            )
-        if args.command == "trace":
-            return _cmd_trace(args.kind, args.requests, args.scale_factor)
-        if args.command == "simulate":
-            return _cmd_simulate(args)
-        if args.command == "spans":
-            return _cmd_spans(args.path)
-        if args.command == "lint":
-            from .lint import main as lint_main
-
-            lint_argv = list(args.paths)
-            if args.list_rules:
-                lint_argv.append("--list-rules")
-            return lint_main(lint_argv)
+        return _dispatch(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early - not an error.
         import os
@@ -272,7 +355,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             pass
         os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
         return 0
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    except (ValueError, KeyError, OSError, PolicyError) as exc:
+        # Operator errors (unknown policy/experiment, missing trace or
+        # span file, invalid fault schedule): one line on stderr, exit 2.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"lard-repro: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

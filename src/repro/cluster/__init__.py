@@ -12,9 +12,24 @@ True
 """
 
 from .costs import PAPER_NODE_CACHE_BYTES, CostModel
+from .faults import (
+    REJOIN_MODES,
+    Brownout,
+    CrashFault,
+    FaultRuntime,
+    FaultSchedule,
+    RetryPolicy,
+    generate_fault_schedule,
+)
 from .frontend import PERSISTENT_POLICIES, FrontEnd
 from .frontend_capacity import FrontEndCapacityModel
-from .metrics import UNDERUTILIZATION_FRACTION, LoadTracker, SimulationResult
+from .metrics import (
+    UNDERUTILIZATION_FRACTION,
+    DegradedTimeline,
+    LoadTracker,
+    SimulationResult,
+    recovery_time_s,
+)
 from .node import BackendNode
 from .simulator import (
     CACHE_POLICIES,
@@ -34,7 +49,16 @@ __all__ = [
     "FrontEndCapacityModel",
     "LoadTracker",
     "SimulationResult",
+    "DegradedTimeline",
+    "recovery_time_s",
     "UNDERUTILIZATION_FRACTION",
+    "FaultSchedule",
+    "CrashFault",
+    "Brownout",
+    "RetryPolicy",
+    "FaultRuntime",
+    "generate_fault_schedule",
+    "REJOIN_MODES",
     "ClusterConfig",
     "ClusterSimulator",
     "run_simulation",

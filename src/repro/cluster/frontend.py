@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import Policy
-from ..sim import Engine
+from ..sim import Delay, Engine
 from ..workload.trace import Trace
 from .metrics import LoadTracker
 from .node import BackendNode
@@ -115,6 +115,12 @@ class FrontEnd:
         #: is untouched; the traced path replays the same state
         #: mutations, so results stay byte-identical.
         self.tracer: Optional[Any] = None
+        #: Optional :class:`repro.cluster.faults.FaultRuntime`.  Same
+        #: attach-from-outside pattern: when set, admission runs the
+        #: faulty twin path (``_admit_faulty``), which adds crash
+        #: detection lag, client retries and lost-request accounting.
+        #: With an empty schedule it replays the plain path exactly.
+        self.faults: Optional[Any] = None
 
     # -- driving ---------------------------------------------------------------
 
@@ -140,12 +146,29 @@ class FrontEnd:
         if self._auto_limit:
             self.max_in_flight = self.policy.admission_limit
 
-    def join_node(self, node: int) -> None:
-        """A back-end (re)joined with a cold cache."""
+    def join_node(
+        self, node: int, cache_mode: str = "cold", aged_fraction: float = 0.5
+    ) -> None:
+        """A back-end (re)joined.
+
+        ``cache_mode`` selects what its cache survived with: ``"cold"``
+        (cleared — the default, and the only behavior before the fault
+        model existed), ``"warm"`` (kept exactly as it died), or
+        ``"aged"`` (``aged_fraction`` of its bytes evicted in policy
+        order).  GMS-backed nodes have no private cache and always
+        effectively rejoin cold.
+        """
+        if cache_mode not in ("cold", "warm", "aged"):
+            raise ValueError(
+                f"cache_mode must be 'cold', 'warm' or 'aged', got {cache_mode!r}"
+            )
         self.policy.on_node_join(node)
         backend = self.nodes[node]
         if backend.cache is not None:
-            backend.cache.clear()
+            if cache_mode == "cold":
+                backend.cache.clear()
+            elif cache_mode == "aged":
+                backend.cache.age(aged_fraction)
         if self._auto_limit:
             self.max_in_flight = self.policy.admission_limit
         self._admit()
@@ -165,6 +188,9 @@ class FrontEnd:
         return batch
 
     def _admit(self) -> None:
+        if self.faults is not None:
+            self._admit_faulty()
+            return
         if self.tracer is not None:
             self._admit_traced()
             return
@@ -256,6 +282,124 @@ class FrontEnd:
         self.in_flight -= 1
         self._admit()
 
+    # -- the faulty admission path (repro.cluster.faults) -----------------------
+
+    def _admit_faulty(self) -> None:
+        """Admission with a fault runtime attached.
+
+        Mirrors :meth:`_admit_traced`'s batch structure (a batch of one
+        is semantically identical to the fast path), so with an empty
+        fault schedule the results are byte-identical to the plain
+        path.  Requests dispatched to a crashed-but-undetected back-end
+        time out client-side and are retried or lost per the schedule's
+        retry policy.
+        """
+        while self.in_flight < self.max_in_flight and self._next < len(
+            self._target_list
+        ):
+            batch = self._take_batch()
+            target, size = batch[0]
+            node_id = self.policy.choose(target, size, now=self.engine.now)
+            take = self._take_prediction
+            hit_hint = take() if take is not None else None
+            self._attach(node_id)
+            self.connections += 1
+            self.in_flight += 1
+            self.engine.process(self._connection_faulty(batch, node_id, hit_hint))
+
+    def _connection_faulty(self, batch: List[Tuple[int, int]], node_id: int, hit_hint):
+        """Faulty twin of :meth:`_connection`.
+
+        While the chosen back-end is crashed but undetected, a dispatch
+        is a black hole: the client waits out its timeout, backs off,
+        and re-requests through the front-end (which re-runs the
+        policy); after ``max_retries`` unanswered attempts the
+        connection's remaining requests are abandoned and counted lost.
+        A live back-end serves exactly as in :meth:`_connection`, via
+        the traced serve twin so the per-request cache outcome feeds the
+        degraded-mode series (a tracer span when tracing, otherwise a
+        throwaway probe).
+        """
+        faults = self.faults
+        retry = faults.retry
+        tracer = self.tracer
+        engine = self.engine
+        t_first = engine.now
+        n = len(batch)
+        index = 0
+        attempts = 0
+        epoch = self._epoch[node_id]
+        # True for the first request served after each (re)dispatch: it
+        # pays connection establishment and skips the rehandoff check
+        # (the policy just chose its node).
+        fresh_dispatch = True
+        while index < n:
+            if faults.is_dark(node_id):
+                faults.doomed_dispatches += 1
+                yield Delay(retry.timeout_s)
+                self._detach(node_id, epoch)
+                if attempts >= retry.max_retries:
+                    now = engine.now
+                    for i in range(index, n):
+                        self._account_lost(t_first)
+                        faults.record_lost(now, now - t_first)
+                        if tracer is not None:
+                            lost_target, lost_size = batch[i]
+                            tracer.lost(lost_target, lost_size, node_id, t_first, now)
+                    break
+                attempts += 1
+                faults.retried_requests += n - index
+                yield Delay(retry.backoff_s(attempts))
+                target, size = batch[index]
+                node_id = self.policy.choose(target, size, now=engine.now)
+                take = self._take_prediction
+                hit_hint = take() if take is not None else None
+                self._attach(node_id)
+                epoch = self._epoch[node_id]
+                fresh_dispatch = True
+                continue
+            target, size = batch[index]
+            if not fresh_dispatch:
+                hit_hint = None
+                if self.persistent_policy == "rehandoff":
+                    node_id, epoch, hit_hint = self._maybe_rehandoff(
+                        node_id, epoch, target, size
+                    )
+                    if faults.is_dark(node_id):
+                        # Rehandoff landed on a dark node: the attempt
+                        # times out there like any doomed dispatch.
+                        fresh_dispatch = True
+                        continue
+            start = engine.now
+            span = (
+                tracer.begin(target, size, node_id, start)
+                if tracer is not None
+                else faults.probe()
+            )
+            yield from self.nodes[node_id].serve_traced(
+                target,
+                size,
+                span,
+                hit_hint=hit_hint,
+                establish=fresh_dispatch,
+                teardown=(index == n - 1),
+            )
+            now = engine.now
+            if tracer is not None:
+                span.t_complete = now
+                tracer.finish(span)
+            request_start = t_first if index == 0 else start
+            self._account_request(node_id, epoch, request_start)
+            faults.record_served(
+                now, now - request_start, span.outcome in ("miss", "coalesced")
+            )
+            fresh_dispatch = False
+            index += 1
+        else:
+            self._detach(node_id, epoch)
+        self.in_flight -= 1
+        self._admit()
+
     # -- per-connection accounting --------------------------------------------------
 
     def _attach(self, node_id: int) -> None:
@@ -284,6 +428,20 @@ class FrontEnd:
         if self.timeline_interval_s is not None:
             bucket = int(now // self.timeline_interval_s)
             self.timeline[bucket] = self.timeline.get(bucket, 0) + 1
+        self.completed += 1
+
+    def _account_lost(self, start: float) -> None:
+        """Terminal accounting for a request abandoned after retries.
+
+        It still counts toward ``completed`` (the closed loop must
+        drain) and, when delays are collected, contributes its
+        abandonment delay — but never lands in ``timeline``, whose
+        buckets count goodput only.
+        """
+        now = self.engine.now
+        self.total_delay_s += now - start
+        if self.collect_delays:
+            self.delays_s.append(now - start)
         self.completed += 1
 
     # -- the connection process ----------------------------------------------------

@@ -21,7 +21,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["LoadTracker", "SimulationResult", "UNDERUTILIZATION_FRACTION"]
+__all__ = [
+    "LoadTracker",
+    "SimulationResult",
+    "DegradedTimeline",
+    "recovery_time_s",
+    "UNDERUTILIZATION_FRACTION",
+]
 
 #: "Node underutilization is defined as the time that a node's load is
 #: less than 40% of T_low."
@@ -87,6 +93,89 @@ class LoadTracker:
 
 
 @dataclass
+class DegradedTimeline:
+    """Per-bucket degraded-mode series from a faulted run.
+
+    Buckets are ``int(completion_time // interval_s)``.  ``completions``
+    counts served requests (goodput), ``misses`` the served requests
+    that missed cache, ``lost`` the abandoned requests, and ``delays``
+    every per-request delay (served *and* lost) — the raw material for
+    time-to-recovery of the miss ratio and of the p99 delay.
+    """
+
+    interval_s: float
+    completions: Dict[int, int] = field(default_factory=dict)
+    misses: Dict[int, int] = field(default_factory=dict)
+    lost: Dict[int, int] = field(default_factory=dict)
+    delays: Dict[int, List[float]] = field(default_factory=dict)
+
+    def throughput_series(self) -> Dict[int, float]:
+        """Served requests per second, per bucket."""
+        return {
+            bucket: count / self.interval_s
+            for bucket, count in self.completions.items()
+        }
+
+    def miss_ratio_series(self) -> Dict[int, float]:
+        """Cache miss ratio over served requests, per bucket."""
+        return {
+            bucket: self.misses.get(bucket, 0) / count
+            for bucket, count in self.completions.items()
+            if count
+        }
+
+    def p99_delay_series(self) -> Dict[int, float]:
+        """Nearest-rank p99 request delay (served + lost), per bucket."""
+        series: Dict[int, float] = {}
+        for bucket, delays in self.delays.items():
+            if not delays:
+                continue
+            ordered = sorted(delays)
+            rank = math.ceil(0.99 * len(ordered))
+            series[bucket] = ordered[min(len(ordered) - 1, max(rank - 1, 0))]
+        return series
+
+
+def recovery_time_s(
+    series: Dict[int, float],
+    interval_s: float,
+    after_s: float,
+    target: float,
+    *,
+    mode: str = "le",
+    sustain: int = 3,
+) -> Optional[float]:
+    """Time from ``after_s`` until ``series`` stays on the good side of
+    ``target`` — ``mode="le"``: at most ``target`` (miss ratio, p99
+    delay); ``mode="ge"``: at least ``target`` (throughput) — for
+    ``sustain`` consecutive buckets.  A bucket with no observations
+    fails the window.  Returns ``None`` when the series never recovers
+    within its recorded range.
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
+    if mode not in ("le", "ge"):
+        raise ValueError(f"mode must be 'le' or 'ge', got {mode!r}")
+    if sustain < 1:
+        raise ValueError(f"sustain must be >= 1, got {sustain}")
+    if not series:
+        return None
+    first = max(0, math.ceil(after_s / interval_s))
+    last = max(series)
+
+    def good(bucket: int) -> bool:
+        value = series.get(bucket)
+        if value is None:
+            return False
+        return value <= target if mode == "le" else value >= target
+
+    for start in range(first, last - sustain + 2):
+        if all(good(bucket) for bucket in range(start, start + sustain)):
+            return max(0.0, start * interval_s - after_s)
+    return None
+
+
+@dataclass
 class SimulationResult:
     """Everything one simulator run reports."""
 
@@ -113,14 +202,38 @@ class SimulationResult:
     connections: int = 0
     #: Persistent-connection moves between back-ends ("rehandoff" mode).
     rehandoffs: int = 0
-    #: Per-request delays (only when collect_delays was set).
+    #: Per-request delays (only when collect_delays was set).  On a
+    #: faulted run, lost requests contribute their abandonment delay.
     delays_s: List[float] = field(default_factory=list)
+    #: Requests abandoned after exhausting client retries (faulted runs
+    #: only; zero whenever no fault schedule was attached).
+    lost_requests: int = 0
+    #: Client retry attempts: requests re-dispatched after a timeout
+    #: against a crashed-but-undetected node (faulted runs only).
+    retried_requests: int = 0
+    #: Per-bucket degraded-mode series (faulted runs with a timeline).
+    degraded: Optional[DegradedTimeline] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
         """Requests served per simulated second (the headline metric)."""
         return self.num_requests / self.sim_time_s if self.sim_time_s > 0 else 0.0
+
+    @property
+    def served_requests(self) -> int:
+        """Requests actually served to completion (offered minus lost)."""
+        return self.num_requests - self.lost_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests served (1.0 on fault-free runs)."""
+        return self.served_requests / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """Served requests per simulated second (excludes lost requests)."""
+        return self.served_requests / self.sim_time_s if self.sim_time_s > 0 else 0.0
 
     @property
     def cache_miss_ratio(self) -> float:

@@ -82,6 +82,18 @@ class BackendNode:
         self.gms_local_hits = 0
         self.gms_remote_hits = 0
 
+    def set_costs(self, costs: CostModel) -> None:
+        """Swap the node's cost model mid-run (brownout fault injection).
+
+        Refolds the hot-path constants; requests already inside a serve
+        generator finish any yielded service at the old rate, new work
+        pays the new rates.
+        """
+        self.costs = costs
+        self._conn_time = costs.connection_time()
+        self._teardown_time = costs.teardown_time()
+        self._transmit_per_unit = costs.transmit_s_per_512b / costs.cpu_speed
+
     # -- disk placement ----------------------------------------------------------
 
     def disk_for(self, target: Hashable) -> Resource:

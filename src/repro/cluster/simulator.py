@@ -30,6 +30,7 @@ from ..core.lardr import DEFAULT_K_SECONDS
 from ..sim import Engine, InvariantSanitizer
 from ..workload.trace import Trace
 from .costs import PAPER_NODE_CACHE_BYTES, CostModel
+from .faults import FaultRuntime, FaultSchedule
 from .frontend import FrontEnd
 from .metrics import UNDERUTILIZATION_FRACTION, LoadTracker, SimulationResult
 from .node import BackendNode
@@ -76,6 +77,54 @@ def stripe_by_frequency(trace: Trace, num_disks: int) -> np.ndarray:
     disk_of = np.empty(trace.num_targets, dtype=np.int64)
     disk_of[order] = np.arange(trace.num_targets) % num_disks
     return disk_of
+
+
+def _validate_membership_events(
+    events: Tuple[Tuple[float, str, int], ...], num_nodes: int
+) -> None:
+    """Reject malformed membership schedules at config time (clear errors
+    instead of a corrupted run): unknown actions or node ids, negative or
+    non-monotonic times, failing a failed node, joining an alive one."""
+    alive = [True] * num_nodes
+    last_when: Optional[float] = None
+    for event in events:
+        try:
+            when, action, node = event
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"membership event must be (time_s, action, node), got {event!r}"
+            ) from None
+        if action not in ("fail", "join"):
+            raise ValueError(
+                f"unknown membership action {action!r} (expected 'fail' or 'join')"
+            )
+        if isinstance(node, bool) or not isinstance(node, int) or not 0 <= node < num_nodes:
+            raise ValueError(
+                f"membership event names unknown node {node!r} "
+                f"(cluster has nodes 0..{num_nodes - 1})"
+            )
+        if when < 0:
+            raise ValueError(f"membership event time must be >= 0, got {when!r}")
+        if last_when is not None and when < last_when:
+            raise ValueError(
+                "membership events must be in non-decreasing time order: "
+                f"t={when!r} after t={last_when!r}"
+            )
+        last_when = when
+        if action == "fail":
+            if not alive[node]:
+                raise ValueError(
+                    f"membership event at t={when!r} fails node {node}, "
+                    "which is already failed"
+                )
+            alive[node] = False
+        else:
+            if alive[node]:
+                raise ValueError(
+                    f"membership event at t={when!r} joins node {node}, "
+                    "which is already alive"
+                )
+            alive[node] = True
 
 
 @dataclass(frozen=True)
@@ -127,6 +176,23 @@ class ClusterConfig:
     #: in the environment.  Read-only — results are identical either way.
     sanitize: bool = False
     sanitize_interval: int = 256
+    #: Optional simulator fault model (:mod:`repro.cluster.faults`):
+    #: crash faults with detection lag and client retries, brownouts,
+    #: and cold/warm/aged rejoins.  ``None`` keeps the untouched
+    #: fault-free hot path.  Mutually exclusive with
+    #: ``membership_events`` (the fault model subsumes them).
+    fault_schedule: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes >= 1:
+            _validate_membership_events(self.membership_events, self.num_nodes)
+            if self.fault_schedule is not None:
+                self.fault_schedule.validate(self.num_nodes)
+        if self.fault_schedule is not None and self.membership_events:
+            raise ValueError(
+                "fault_schedule and membership_events cannot be combined; "
+                "express clean fail/join pairs as CrashFaults instead"
+            )
 
     def scaled_cpu(self, cpu_multiplier: float, memory_multiplier: float = 1.0) -> "ClusterConfig":
         """The Figure 11/12 scaling: faster CPU, proportionally larger cache."""
@@ -215,6 +281,12 @@ class ClusterSimulator:
         if tracer is not None:
             tracer.bind(self.frontend, self.nodes, self.policy)
             self.frontend.tracer = tracer
+        self.fault_runtime: Optional[FaultRuntime] = None
+        if config.fault_schedule is not None:
+            self.fault_runtime = FaultRuntime(
+                config.fault_schedule, self.frontend, self.nodes, tracer=tracer
+            )
+            self.frontend.faults = self.fault_runtime
         self.sanitizer: Optional[InvariantSanitizer] = None
         if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
             sanitizer = InvariantSanitizer(deep_interval=config.sanitize_interval)
@@ -229,12 +301,18 @@ class ClusterSimulator:
         self.frontend.timeline_interval_s = self.config.timeline_interval_s
         self.frontend.collect_delays = self.config.collect_delays
         for when, action, node in self.config.membership_events:
+            # Validated by ClusterConfig.__post_init__; re-checked here
+            # for configs built before validation existed (defensive).
             if action == "fail":
                 self.engine.schedule(when, self.frontend.fail_node, node)
             elif action == "join":
                 self.engine.schedule(when, self.frontend.join_node, node)
             else:
                 raise ValueError(f"unknown membership action {action!r}")
+        runtime = self.fault_runtime
+        if runtime is not None:
+            runtime.interval_s = self.config.timeline_interval_s
+            runtime.schedule_events(self.engine)
         self.frontend.start()
         end_time = self.engine.run()
         if self.sanitizer is not None:
@@ -271,6 +349,9 @@ class ClusterSimulator:
             connections=self.frontend.connections,
             rehandoffs=self.frontend.rehandoffs,
             delays_s=list(self.frontend.delays_s),
+            lost_requests=runtime.lost_requests if runtime is not None else 0,
+            retried_requests=runtime.retried_requests if runtime is not None else 0,
+            degraded=runtime.degraded_timeline() if runtime is not None else None,
         )
 
 

@@ -69,6 +69,11 @@ class LocalityGlobalCache(Policy):
         super().on_node_failure(node)
         self.directory.drop_node(node)
 
+    def on_node_join(self, node: int) -> None:
+        """Resume directory routing to the rejoined (cold-cache) node."""
+        super().on_node_join(node)
+        self.directory.revive_node(node)
+
     @property
     def predicted_hit_ratio(self) -> float:
         total = self.predicted_hits + self.predicted_misses

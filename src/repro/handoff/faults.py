@@ -30,6 +30,12 @@ out of the fast path when no injector is attached.
 Use as a context manager: exiting cancels pending timers and clears
 every standing fault (it does not revive killed nodes — tests decide
 whether recovery is part of the scenario).
+
+Pass a :class:`~repro.obs.span.SpanWriter` and every injected fault is
+also emitted as a ``fault`` record (``kill``, ``revive``, ``refuse``,
+``stall``, ``delay``, ``sever``, ``gray``) on the writer's clock, so
+live chaos runs and simulated ones share the same ``lard-repro spans``
+tooling.
 """
 
 from __future__ import annotations
@@ -124,8 +130,11 @@ class FaultInjector:
     #: Timer registration races timer expiry callbacks and clear().
     __guarded_by__ = {"_timers": "_timer_lock"}
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, writer=None) -> None:
         self.cluster = cluster
+        #: Optional :class:`~repro.obs.span.SpanWriter`: every injected
+        #: fault is then also logged as a ``fault`` record.
+        self.writer = writer
         self._timers: List[threading.Timer] = []
         self._timer_lock = threading.Lock()
 
@@ -137,14 +146,20 @@ class FaultInjector:
             backend.faults = BackendFaults()
         return backend.faults
 
+    def _log(self, event: str, node: int, **details) -> None:
+        if self.writer is not None:
+            self.writer.write_fault(self.writer.clock(), node, event, **details)
+
     # -- fault primitives ------------------------------------------------------
 
     def kill(self, node: int, detect: bool = True) -> None:
         """Crash back-end ``node`` (see :meth:`HandoffCluster.fail_backend`)."""
+        self._log("kill", node, detect=detect)
         self.cluster.fail_backend(node, detect=detect)
 
     def revive(self, node: int, immediate: bool = True) -> None:
         """Restart a killed back-end cold, clearing its standing faults."""
+        self._log("revive", node, immediate=immediate)
         backend = self.cluster.backends[node]
         if backend.faults is not None:
             backend.faults.clear()
@@ -152,22 +167,27 @@ class FaultInjector:
 
     def refuse_handoffs(self, node: int, refuse: bool = True) -> None:
         """Make ``node`` reject hand-offs while staying up."""
+        self._log("refuse", node, enabled=refuse)
         self._faults(node).refuse_handoffs = refuse
 
     def stall_handoffs(self, node: int, delay_s: float) -> None:
         """Make hand-offs to ``node`` block ``delay_s`` before acceptance."""
+        self._log("stall", node, delay_s=delay_s)
         self._faults(node).handoff_stall_s = delay_s
 
     def delay_responses(self, node: int, delay_s: float) -> None:
         """Add ``delay_s`` before the first byte of every response."""
+        self._log("delay", node, delay_s=delay_s)
         self._faults(node).response_delay_s = delay_s
 
     def sever_responses(self, node: int, count: int = 1) -> None:
         """Cut the next ``count`` responses mid-body with an RST."""
+        self._log("sever", node, count=count)
         self._faults(node).sever_next(count)
 
     def fail_heartbeats(self, node: int, fail: bool = True) -> None:
         """Make ``node`` look dead to the health monitor while serving fine."""
+        self._log("gray", node, enabled=fail)
         self._faults(node).fail_heartbeats = fail
 
     # -- scheduling ------------------------------------------------------------

@@ -30,6 +30,7 @@ from .metrics import (
     parse_prometheus,
 )
 from .span import (
+    FAULT_EVENTS,
     OUTCOMES,
     SCHEMA_VERSION,
     SchemaError,
@@ -45,6 +46,7 @@ from .tracer import SimTracer
 __all__ = [
     "SCHEMA_VERSION",
     "OUTCOMES",
+    "FAULT_EVENTS",
     "Span",
     "SpanLog",
     "SpanWriter",

@@ -42,6 +42,8 @@ PHASE_GROUPS: Dict[str, str] = {
     "serve": "cpu",
     "admit": "queue",
     "handoff": "handoff",
+    # fault-model retries (dispatch timeouts + backoff against dark nodes)
+    "retry": "retry",
 }
 
 
@@ -123,7 +125,17 @@ def format_report(log: SpanLog) -> str:
     lines: List[str] = [
         f"span log: source={log.source}  spans={len(log.spans)}  "
         f"samples={len(log.samples)}"
+        + (f"  faults={len(log.faults)}" if log.faults else "")
     ]
+    if log.faults:
+        events: Dict[str, int] = {}
+        for fault in log.faults:
+            name = str(fault.get("event", "?"))
+            events[name] = events.get(name, 0) + 1
+        lines.append(
+            "fault events: "
+            + "  ".join(f"{name}={events[name]}" for name in sorted(events))
+        )
     if not log.spans:
         lines.append("no spans recorded")
         return "\n".join(lines)

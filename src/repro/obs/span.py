@@ -8,7 +8,7 @@ hand-off prototype both emit this schema, so the same analysis code
 (:mod:`repro.obs.analyze`) covers paper Sections 3.3/4.4 (simulated
 delays) and Section 5.2 (prototype measurements).
 
-A span log is a JSONL stream of three record kinds:
+A span log is a JSONL stream of four record kinds:
 
 ``meta``
     First line of every log: ``{"kind": "meta", "schema": 1,
@@ -19,6 +19,12 @@ A span log is a JSONL stream of three record kinds:
     One periodic time-series observation (per-node load, rolling miss
     ratio, queue depths) — the generalization of the simulator's
     completions-only ``timeline``.
+``fault``
+    One injected-fault event: ``{"kind": "fault", "t": seconds,
+    "node": int, "event": name}`` plus free-form detail fields.  The
+    simulator's fault model and the live :class:`FaultInjector` both
+    emit this kind, so simulated and live chaos runs are analyzed by
+    the same tooling.
 
 Timestamps are seconds on the emitter's clock: simulated time for the
 simulator, seconds since the writer was opened for the live cluster.
@@ -37,6 +43,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SOURCES",
     "OUTCOMES",
+    "FAULT_EVENTS",
     "Span",
     "SpanWriter",
     "SpanLog",
@@ -55,9 +62,33 @@ SOURCES = ("sim", "live")
 #: How the request's data path resolved.  ``hit``/``miss`` are the paper's
 #: cache outcomes; ``coalesced`` is a miss served by another request's
 #: in-flight disk read; the ``gms_*`` outcomes are WRR/GMS memory hits;
-#: ``rejected`` is a live 503 (admission timeout or no back-end).
+#: ``rejected`` is a live 503 (admission timeout or no back-end);
+#: ``lost`` is a fault-model request abandoned after exhausting its
+#: client retries against a crashed-but-undetected node.
 OUTCOMES = frozenset(
-    {"hit", "miss", "coalesced", "gms_local", "gms_remote", "rejected", "error"}
+    {"hit", "miss", "coalesced", "gms_local", "gms_remote", "rejected", "error", "lost"}
+)
+
+#: Injected-fault event names.  Simulator fault model: ``crash`` (node
+#: goes dark), ``detect`` (membership notices and fails it), ``join``
+#: (rejoin), ``brownout_start``/``brownout_end`` (degraded rates).
+#: Live injector primitives: ``kill``, ``revive``, ``refuse``,
+#: ``stall``, ``delay``, ``sever``, ``gray`` (heartbeat failure).
+FAULT_EVENTS = frozenset(
+    {
+        "crash",
+        "detect",
+        "join",
+        "brownout_start",
+        "brownout_end",
+        "kill",
+        "revive",
+        "refuse",
+        "stall",
+        "delay",
+        "sever",
+        "gray",
+    }
 )
 
 
@@ -173,6 +204,17 @@ def validate_record(record: Mapping[str, object]) -> None:
     if kind == "sample":
         _require_number(record, "t")
         return
+    if kind == "fault":
+        t = _require_number(record, "t")
+        if t < 0:
+            raise SchemaError(f"fault time must be non-negative, got {t!r}")
+        node = record.get("node")
+        if isinstance(node, bool) or not isinstance(node, int):
+            raise SchemaError(f"fault field 'node' must be int, got {node!r}")
+        event = record.get("event")
+        if event not in FAULT_EVENTS:
+            raise SchemaError(f"unknown fault event: {event!r}")
+        return
     if kind != "span":
         raise SchemaError(f"unknown record kind: {kind!r}")
     for name, expected in _SPAN_FIELD_TYPES.items():
@@ -285,6 +327,12 @@ class SpanWriter:
         record.update(values)
         self.write(record)
 
+    def write_fault(self, t: float, node: int, event: str, **details: object) -> None:
+        """Append one injected-fault event (simulated or live)."""
+        record: Dict[str, object] = {"kind": "fault", "t": t, "node": node, "event": event}
+        record.update(details)
+        self.write(record)
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
@@ -306,11 +354,13 @@ class SpanWriter:
 
 @dataclass
 class SpanLog:
-    """A fully parsed span log: its meta header, spans, and samples."""
+    """A fully parsed span log: its meta header, spans, samples, and
+    injected-fault events."""
 
     meta: Dict[str, object]
     spans: List[Span]
     samples: List[Dict[str, object]]
+    faults: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def source(self) -> str:
@@ -327,6 +377,7 @@ def parse_span_log(lines: List[str]) -> SpanLog:
     meta: Optional[Dict[str, object]] = None
     spans: List[Span] = []
     samples: List[Dict[str, object]] = []
+    faults: List[Dict[str, object]] = []
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -348,11 +399,13 @@ def parse_span_log(lines: List[str]) -> SpanLog:
             meta = record
         elif kind == "span":
             spans.append(Span.from_record(record))
+        elif kind == "fault":
+            faults.append(record)
         else:
             samples.append(record)
     if meta is None:
         raise SchemaError("span log has no meta record")
-    return SpanLog(meta=meta, spans=spans, samples=samples)
+    return SpanLog(meta=meta, spans=spans, samples=samples, faults=faults)
 
 
 def read_span_log(path: Union[str, Path]) -> SpanLog:

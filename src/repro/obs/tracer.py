@@ -57,6 +57,8 @@ class SimTracer:
         self.spans_finished = 0
         #: Retained copies of every emitted sample (they are few and small).
         self.samples: List[Dict[str, object]] = []
+        #: Retained copies of every emitted fault event (likewise few).
+        self.faults: List[Dict[str, object]] = []
         self._seq = 0
         self._policy: Optional[Any] = None
         self._frontend: Optional[Any] = None
@@ -93,6 +95,37 @@ class SimTracer:
         )
         self._seq += 1
         return span
+
+    def lost(
+        self, target: object, size: int, node: int, t_start: float, t_end: float
+    ) -> None:
+        """Emit a span for a request abandoned by the fault model's retry
+        policy: it spent its whole life in (timed-out) dispatch and
+        backoff against dark nodes, recorded as a single ``retry``
+        phase."""
+        span = Span(
+            req=self._seq,
+            target=str(target),
+            size=int(size),
+            policy=self._policy_name,
+            node=node,
+            t_arrival=t_start,
+            t_dispatch=t_start,
+            t_complete=t_end,
+            outcome="lost",
+            phases={"retry": t_end - t_start},
+        )
+        self._seq += 1
+        self.finish(span)
+
+    # -- fault events ----------------------------------------------------------
+
+    def fault_event(self, t: float, node: int, event: str, **details: object) -> None:
+        """Record one injected-fault event (crash, detect, join, brownout)."""
+        record: Dict[str, object] = {"t": t, "node": node, "event": event}
+        record.update(details)
+        self.faults.append(record)
+        self.writer.write_fault(t, node, event, **details)
 
     def finish(self, span: Span) -> None:
         """Emit a completed span; maybe emit a periodic sample."""

@@ -17,7 +17,10 @@ Checked every event (cheap, O(1)):
   trace equal completions plus what in-flight connections can still be
   carrying, and ``0 <= in_flight <= max_in_flight`` (with a drain
   allowance when a node failure shrinks the admission limit under
-  connections admitted before it, per paper Section 2.6).
+  connections admitted before it, per paper Section 2.6);
+* on fault-model runs (:mod:`repro.cluster.faults`), lost-request
+  conservation: served goodput plus abandoned (lost) requests exactly
+  tile the completion count, and no runtime counter goes negative.
 
 Checked every ``deep_interval`` events and at end of run (O(cluster)):
 
@@ -200,6 +203,28 @@ class InvariantSanitizer:
                 f"{completed} + work carried by {in_flight} in-flight "
                 f"connection(s) (<= {in_flight * fe.requests_per_connection} requests)",
             )
+        # Lost-request conservation (fault-model runs): every completion
+        # is either served goodput or an abandoned (lost) request — the
+        # two runtime counters must tile ``completed`` exactly.
+        faults = getattr(fe, "faults", None)
+        if faults is not None:
+            lost = faults.lost_requests
+            served = faults.served_requests
+            retried = faults.retried_requests
+            if lost < 0 or served < 0 or retried < 0:
+                self._fail(
+                    when,
+                    callback,
+                    f"fault-runtime counters went negative (served {served}, "
+                    f"lost {lost}, retried {retried})",
+                )
+            if served + lost != completed:
+                self._fail(
+                    when,
+                    callback,
+                    f"lost-request conservation broken: served {served} + "
+                    f"lost {lost} != completed {completed}",
+                )
 
     def _deep_check(self, when: float, callback: Optional[Callable[..., Any]]) -> None:
         self.deep_sweeps += 1

@@ -123,3 +123,70 @@ class TestPerfFlags:
         assert code == 0
         assert pstats_path.exists()
         assert "profile written" in capsys.readouterr().out
+
+
+class TestErrorExitCodes:
+    """Operator errors exit 2 with a one-line message, not a traceback."""
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope", "--scale", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("lard-repro: error:")
+        assert "unknown experiment" in err
+        assert "Traceback" not in err
+
+    def test_missing_span_file(self, capsys):
+        assert main(["spans", "/nonexistent/span.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("lard-repro: error:")
+        assert "Traceback" not in err
+
+    def test_unknown_chaos_policy(self, capsys):
+        assert main(["chaos", "--policies", "lard,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy 'bogus'" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_span_log(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "meta", "schema": 99, "source": "sim"}\n')
+        assert main(["spans", str(bad)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.trace == "rice"
+        assert args.nodes == 4
+        assert args.seed == 0
+        assert args.policies is None
+
+    def test_small_campaign_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "scorecard.csv"
+        code = main(
+            [
+                "chaos",
+                "--requests",
+                "3000",
+                "--scale-factor",
+                "0.05",
+                "--nodes",
+                "3",
+                "--policies",
+                "lard,wrr",
+                "--seed",
+                "3",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "availability" in out
+        for scenario in ("none", "churn", "burst", "brownout"):
+            assert scenario in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("scenario,policy,")
+        assert len(csv_path.read_text().splitlines()) == 1 + 8  # 4 scenarios x 2

@@ -1,0 +1,154 @@
+"""Property-based tests for the fault model.
+
+Hypothesis draws random (but valid-by-construction) seeded fault
+schedules — including join-after-fail rejoins and back-to-back crashes —
+and asserts the conservation and determinism invariants hold for every
+one, with the runtime sanitizer enabled:
+
+* request conservation: every trace request completes, as either served
+  goodput or a counted lost request;
+* determinism: the same seed produces byte-identical exported CSV rows.
+"""
+
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.sweep import result_row, write_csv
+from repro.cluster import ClusterConfig, run_simulation
+from repro.cluster.faults import (
+    CrashFault,
+    FaultSchedule,
+    RetryPolicy,
+    generate_fault_schedule,
+)
+from repro.workload import synthesize_trace
+
+NUM_NODES = 3
+CACHE = 2**20
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_trace(1200, 300, 4 * 2**20, 0.9, seed=11)
+
+
+@pytest.fixture(scope="module")
+def base_sim_time(trace):
+    return run_simulation(
+        trace, policy="lard", num_nodes=NUM_NODES, node_cache_bytes=CACHE
+    ).sim_time_s
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+@st.composite
+def fault_schedules(draw):
+    """A generated schedule: MTTF/MTTR drawn wide enough to cover calm
+    runs, rejoin churn (join-after-fail), and back-to-back crashes."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    # Small mttf fractions force overlapping/back-to-back crashes.
+    mttf_frac = draw(st.floats(min_value=0.15, max_value=1.5, allow_nan=False))
+    mttr_frac = draw(st.floats(min_value=0.02, max_value=0.3, allow_nan=False))
+    with_brownouts = draw(st.booleans())
+    return seed, mttf_frac, mttr_frac, with_brownouts
+
+
+def _materialize(base_sim_time, params):
+    seed, mttf_frac, mttr_frac, with_brownouts = params
+    est = base_sim_time
+    return generate_fault_schedule(
+        NUM_NODES,
+        est * 0.9,
+        seed=seed,
+        mttf_s=est * mttf_frac,
+        mttr_s=est * mttr_frac,
+        brownout_mttf_s=est * 0.5 if with_brownouts else None,
+        brownout_duration_s=est * 0.1 if with_brownouts else None,
+        retry=RetryPolicy(
+            max_retries=2,
+            timeout_s=est * 0.02,
+            backoff_base_s=est * 0.01,
+            backoff_cap_s=est * 0.04,
+        ),
+    )
+
+
+def _run(trace, schedule):
+    return run_simulation(
+        trace,
+        ClusterConfig(
+            policy="lard",
+            num_nodes=NUM_NODES,
+            node_cache_bytes=CACHE,
+            fault_schedule=schedule,
+            collect_delays=True,
+        ),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=fault_schedules())
+def test_random_fault_schedules_preserve_conservation(
+    trace, base_sim_time, params
+):
+    assert os.environ.get("REPRO_SANITIZE") == "1"
+    schedule = _materialize(base_sim_time, params)
+    result = _run(trace, schedule)
+    # Conservation: every request resolves exactly once.
+    assert result.served_requests + result.lost_requests == len(trace)
+    assert result.lost_requests >= 0
+    assert result.retried_requests >= 0
+    assert 0.0 < result.availability <= 1.0
+    # No crashes scheduled -> nothing can be lost or retried.
+    if not schedule.crashes:
+        assert result.lost_requests == 0
+        assert result.retried_requests == 0
+    assert result.sim_time_s > 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(params=fault_schedules())
+def test_same_seed_is_byte_identical(tmp_path_factory, trace, base_sim_time, params):
+    schedule = _materialize(base_sim_time, params)
+    assert schedule == _materialize(base_sim_time, params)
+    rows = []
+    for run in range(2):
+        result = _run(trace, schedule)
+        rows.append(result_row(result, {"run": 0}))
+    out = tmp_path_factory.mktemp("faultcsv")
+    blobs = [
+        write_csv([row], out / f"run{i}.csv").read_bytes()
+        for i, row in enumerate(rows)
+    ]
+    assert blobs[0] == blobs[1]
+
+
+def test_join_after_fail_and_back_to_back_failures(trace, base_sim_time):
+    """The explicit worst-case shapes: a node rejoins and later crashes
+    again (join-after-fail), while a second node crashes during the
+    first's downtime (back-to-back)."""
+    est = base_sim_time
+    retry = RetryPolicy(max_retries=2, timeout_s=est * 0.02,
+                        backoff_base_s=est * 0.01, backoff_cap_s=est * 0.04)
+    schedule = FaultSchedule(
+        crashes=(
+            CrashFault(node=0, at_s=est * 0.1, detect_s=est * 0.03,
+                       rejoin_at_s=est * 0.3, rejoin_mode="warm"),
+            CrashFault(node=1, at_s=est * 0.15, detect_s=est * 0.03,
+                       rejoin_at_s=est * 0.4, rejoin_mode="aged"),
+            CrashFault(node=0, at_s=est * 0.5, detect_s=est * 0.03,
+                       rejoin_at_s=est * 0.7, rejoin_mode="cold"),
+        ),
+        retry=retry,
+    )
+    schedule.validate(NUM_NODES)
+    a = _run(trace, schedule)
+    b = _run(trace, schedule)
+    assert a == b
+    assert a.served_requests + a.lost_requests == len(trace)

@@ -24,6 +24,14 @@ honestly: it checks the ref out into a temporary git worktree and runs
 the end-to-end benchmark *interleaved* (ref, current, ref, current, ...)
 in fresh subprocesses, cancelling machine noise; the median per-round
 speedup and the (required-identical) simulation outputs are reported.
+
+The report keeps a ``history`` list — one
+``{git_rev, timestamp, sim_requests_per_s, engine_events_per_s,
+median_speedup}`` entry per revision — so the perf trajectory across PRs
+stays machine-readable.  ``--out`` carries forward any history already in
+the target file; a clean full-size ``--check`` run appends the current
+numbers to the baseline's history in place.  Quick runs never touch
+history (their sizes aren't comparable across entries).
 """
 
 from __future__ import annotations
@@ -96,8 +104,17 @@ def measure(quick: bool, jobs: int) -> dict:
     engine = micro.bench_engine_events(num_events=sizes["engine_events"])
     simulator = micro.bench_sim_requests(num_requests=sizes["sim_requests"])
     sweep_serial = micro.bench_sweep(jobs=1, num_requests=sizes["sweep_requests"])
-    sweep_parallel = micro.bench_sweep(jobs=jobs, num_requests=sizes["sweep_requests"])
-    speedup = sweep_serial["seconds"] / sweep_parallel["seconds"]
+    if jobs > 1:
+        sweep_parallel = micro.bench_sweep(jobs=jobs, num_requests=sizes["sweep_requests"])
+        speedup = sweep_serial["seconds"] / sweep_parallel["seconds"]
+        efficiency = speedup / jobs
+    else:
+        # A one-worker "parallel" run just replays the serial cell through
+        # the process pool and reports pure pool overhead as a ~0.97x
+        # "speedup".  Record the absence honestly instead of a bogus number.
+        sweep_parallel = None
+        speedup = None
+        efficiency = None
     return {
         "version": 1,
         "meta": {
@@ -116,9 +133,11 @@ def measure(quick: bool, jobs: int) -> dict:
             "engine_events_per_s": engine["events_per_s"],
             "sim_requests_per_s": simulator["requests_per_s"],
             "sweep_cells_per_s_serial": sweep_serial["cells_per_s"],
-            "sweep_cells_per_s_parallel": sweep_parallel["cells_per_s"],
+            "sweep_cells_per_s_parallel": (
+                sweep_parallel["cells_per_s"] if sweep_parallel else None
+            ),
             "sweep_parallel_speedup": speedup,
-            "sweep_parallel_efficiency": speedup / max(1, jobs),
+            "sweep_parallel_efficiency": efficiency,
         },
         "details": {
             "engine": engine,
@@ -159,9 +178,9 @@ def check(report: dict, baseline: dict, threshold: float) -> int:
         )
     base_cpus = baseline["meta"].get("cpu_count") or 1
     now_cpus = os.cpu_count() or 1
-    if base_cpus > 1 and now_cpus > 1:
-        base_speedup = baseline["metrics"].get("sweep_parallel_speedup", 1.0)
-        now_speedup = report["metrics"]["sweep_parallel_speedup"]
+    base_speedup = baseline["metrics"].get("sweep_parallel_speedup")
+    now_speedup = report["metrics"].get("sweep_parallel_speedup")
+    if base_cpus > 1 and now_cpus > 1 and base_speedup and now_speedup:
         ok = now_speedup >= base_speedup * (1.0 - threshold)
         if not ok:
             failures += 1
@@ -171,10 +190,28 @@ def check(report: dict, baseline: dict, threshold: float) -> int:
         )
     else:
         print(
-            f"  skip sweep_parallel_speedup: needs >1 CPU on both machines "
-            f"(baseline {base_cpus}, here {now_cpus})"
+            f"  skip sweep_parallel_speedup: needs >1 CPU and a parallel cell "
+            f"on both machines (baseline {base_cpus} CPUs, here {now_cpus})"
         )
     return failures
+
+
+def _history_entry(report: dict) -> dict:
+    """One machine-readable point on the perf trajectory."""
+    ab = report.get("speedup_vs_ref") or {}
+    return {
+        "git_rev": report["meta"]["git_rev"],
+        "timestamp": report["meta"]["timestamp"],
+        "sim_requests_per_s": report["metrics"]["sim_requests_per_s"],
+        "engine_events_per_s": report["metrics"]["engine_events_per_s"],
+        "median_speedup": ab.get("median_speedup"),
+    }
+
+
+def _append_history(history: list, entry: dict) -> list:
+    """Append ``entry``, replacing any prior entry for the same revision
+    so re-runs update in place instead of duplicating."""
+    return [e for e in history if e.get("git_rev") != entry["git_rev"]] + [entry]
 
 
 def compare_ref(ref: str, num_requests: int, rounds: int) -> dict:
@@ -270,10 +307,13 @@ def main(argv=None) -> int:
     print(f"  engine events/s:        {metrics['engine_events_per_s']:,.0f}")
     print(f"  sim requests/s:         {metrics['sim_requests_per_s']:,.0f}")
     print(f"  sweep cells/s (serial): {metrics['sweep_cells_per_s_serial']:.2f}")
-    print(
-        f"  sweep speedup @{jobs} jobs: {metrics['sweep_parallel_speedup']:.2f}x "
-        f"(efficiency {metrics['sweep_parallel_efficiency']:.0%})"
-    )
+    if metrics["sweep_parallel_speedup"] is not None:
+        print(
+            f"  sweep speedup @{jobs} jobs: {metrics['sweep_parallel_speedup']:.2f}x "
+            f"(efficiency {metrics['sweep_parallel_efficiency']:.0%})"
+        )
+    else:
+        print("  sweep parallel:         skipped (single worker on this machine)")
     if "speedup_vs_ref" in report:
         ab = report["speedup_vs_ref"]
         print(
@@ -283,7 +323,8 @@ def main(argv=None) -> int:
 
     status = 0
     if args.check:
-        baseline = json.loads(Path(args.check).read_text())
+        baseline_path = Path(args.check)
+        baseline = json.loads(baseline_path.read_text())
         print(f"regression check vs {args.check} (threshold {args.threshold:.0%}):")
         failures = check(report, baseline, args.threshold)
         if failures:
@@ -291,9 +332,29 @@ def main(argv=None) -> int:
             status = 1
         else:
             print("PASS: no metric regressed beyond the threshold")
+            if report["meta"]["mode"] == "full":
+                baseline["history"] = _append_history(
+                    baseline.get("history", []), _history_entry(report)
+                )
+                baseline_path.write_text(
+                    json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+                )
+                print(
+                    f"history entry for {report['meta']['git_rev']} "
+                    f"appended to {args.check}"
+                )
 
     if args.out:
         out = Path(args.out)
+        history: list = []
+        if out.exists():
+            try:
+                history = json.loads(out.read_text()).get("history", [])
+            except (json.JSONDecodeError, OSError):
+                history = []
+        if report["meta"]["mode"] == "full":
+            history = _append_history(history, _history_entry(report))
+        report["history"] = history
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"report written to {out}")
     return status

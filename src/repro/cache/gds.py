@@ -99,12 +99,35 @@ class GDSCache(Cache):
         self._credit[target] = credit
         heapq.heappush(self._heap, (credit, self._seq, target))
 
+    def access(self, target: Hashable, size: int) -> bool:
+        """Specialized :meth:`Cache.access`: the hit path fuses the base
+        protocol with ``_on_hit`` — one membership probe serves both the
+        hit test and the size lookup, and no hook call frame is paid.
+        This runs once per request, the simulator's most frequent cache
+        operation; outcomes and counter updates are identical to the
+        base implementation.
+        """
+        if size < 0:
+            raise CacheError(f"negative file size for {target!r}: {size}")
+        cached = self._sizes.get(target)
+        if cached is not None:
+            self.stats.hits += 1
+            if self._unit_cost:
+                # Inlined _fresh_credit for the default GDS(1) variant.
+                credit = self._inflation + (1.0 / cached if cached > 0 else 1.0)
+            else:
+                credit = self._fresh_credit(target, cached)
+            self._seq += 1
+            self._credit[target] = credit
+            heapq.heappush(self._heap, (credit, self._seq, target))
+            return True
+        self.stats.misses += 1
+        self._insert(target, size)
+        return False
+
     def _on_hit(self, target: Hashable) -> None:
         size = self._sizes[target]
         if self._unit_cost:
-            # Inlined _fresh_credit for the default GDS(1) variant: this
-            # runs once per cache hit, the simulator's most frequent
-            # cache operation.
             credit = self._inflation + (1.0 / size if size > 0 else 1.0)
         else:
             credit = self._fresh_credit(target, size)

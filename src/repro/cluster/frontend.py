@@ -25,11 +25,13 @@ connections already in flight drain without corrupting the books.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import Policy
 from ..sim import Delay, Engine
 from ..workload.trace import Trace
+from .fastpath import FastPath
 from .metrics import LoadTracker
 from .node import BackendNode
 
@@ -82,9 +84,9 @@ class FrontEnd:
         self._sizes = trace.sizes_by_target
         # Plain-list views of the trace: indexing a numpy array yields a
         # numpy scalar that must be unboxed per request, which dominates
-        # the admission loop on long traces.
-        self._target_list = trace.targets.tolist()
-        self._size_list = trace.sizes_by_target.tolist()
+        # the admission loop on long traces.  Memoized on the trace so
+        # sweeps reusing one trace across cells convert it once.
+        self._target_list, self._size_list = trace.request_lists()
         # The LB/GC front-end cache model is the only policy with
         # per-request hit predictions; resolve the hook once.
         self._take_prediction = getattr(policy, "take_prediction", None)
@@ -121,6 +123,21 @@ class FrontEnd:
         #: detection lag, client retries and lost-request accounting.
         #: With an empty schedule it replays the plain path exactly.
         self.faults: Optional[Any] = None
+        #: Flattened state-machine request path (repro.cluster.fastpath):
+        #: byte-identical to the generator twins, minus the coroutine
+        #: machinery.  Eligible only for the paper's one-request
+        #: connections over a uniform cost model; ``REPRO_SIM_FASTPATH=0``
+        #: forces the generator path (the identity tests' reference).
+        #: Tracer/fault attachment is rechecked per _admit call, so this
+        #: being set does not bypass those twins.
+        self._fastpath: Optional[FastPath] = None
+        if (
+            requests_per_connection == 1
+            and len(nodes) > 0
+            and all(n.costs is nodes[0].costs for n in nodes)
+            and os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+        ):
+            self._fastpath = FastPath(self)
 
     # -- driving ---------------------------------------------------------------
 
@@ -193,6 +210,9 @@ class FrontEnd:
             return
         if self.tracer is not None:
             self._admit_traced()
+            return
+        if self._fastpath is not None:
+            self._fastpath.admit()
             return
         targets = self._target_list
         n = len(targets)

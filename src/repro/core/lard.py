@@ -75,7 +75,11 @@ class LARD(Policy):
             self._bind(target, node)
             self.assignments += 1
             return node
-        self._server.move_to_end(target)
+        if self.max_mappings is not None:
+            # LRU touch.  Recency order is only ever consumed by the
+            # bounded table's eviction in _bind, so the unbounded case
+            # skips the (per-request) OrderedDict relink entirely.
+            self._server.move_to_end(target)
         load = self.loads[node]
         if (load > self.t_high and self.has_node_below(self.t_low)) or (
             load >= 2 * self.t_high

@@ -43,7 +43,7 @@ __all__ = ["LARDReplication", "DEFAULT_K_SECONDS"]
 DEFAULT_K_SECONDS = 20.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ServerSet:
     """Replica set plus the time it last changed.
 
@@ -108,7 +108,11 @@ class LARDReplication(Policy):
             self._store(target, entry)
             self.assignments += 1
             return node
-        self._server_sets.move_to_end(target)
+        if self.max_mappings is not None:
+            # LRU touch.  Recency order is only ever consumed by the
+            # bounded table's eviction in _store, so the unbounded case
+            # skips the (per-request) OrderedDict relink entirely.
+            self._server_sets.move_to_end(target)
         loads = self.loads
         nodes = entry.nodes
         if len(nodes) == 1:
@@ -119,8 +123,9 @@ class LARDReplication(Policy):
             most = max(nodes, key=lambda n: (loads[n], -n))
         changed = False
         load = loads[node]
-        if (load > self.t_high and self.has_node_below(self.t_low)) or (
-            load >= 2 * self.t_high
+        t_high = self.t_high
+        if (load > t_high and self.has_node_below(self.t_low)) or (
+            load >= 2 * t_high
         ):
             p = self.least_loaded_node()
             if p not in entry.nodes:

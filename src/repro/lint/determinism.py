@@ -23,6 +23,14 @@ these rules ban the constructs that silently break it:
   order.  All event queues go through :class:`repro.sim.engine.Engine`;
   non-event heaps (the cache credit heaps) carry their own seq tie-break
   and say so with a documented suppression.
+* ``event-queue`` — reaching into another object's event-queue internals
+  (``engine._queue``, ``engine._nowq``, ``engine._cal``) bypasses the
+  sequence counter and the same-instant staging discipline entirely:
+  an entry inserted behind the engine's back carries no fresh seq, so
+  ties resolve arbitrarily and the heap/calendar cross-check breaks.
+  Only :mod:`repro.sim.engine` and :mod:`repro.sim.calendar` may touch
+  these (their own accesses are ``self.``-rooted and exempt); everyone
+  else schedules through ``Engine.schedule``/``schedule_at``.
 """
 
 from __future__ import annotations
@@ -40,7 +48,13 @@ RULES: Tuple[str, ...] = (
     "set-iteration",
     "mutable-default",
     "raw-heapq",
+    "event-queue",
 )
+
+#: Engine event-queue internals owned by repro.sim.engine/calendar.
+#: Accessing them through any expression other than ``self`` means some
+#: outside code is manipulating an engine's queue directly.
+_EVENT_QUEUE_ATTRS = frozenset({"_queue", "_nowq", "_cal"})
 
 _TIME_FUNCTIONS = frozenset(
     {
@@ -252,6 +266,27 @@ def _check_one_iteration(ctx: FileContext, node: ast.AST, set_names: Set[str]) -
         ctx.report(node, "set-iteration", message)
 
 
+def _check_event_queue(ctx: FileContext) -> None:
+    """Flag ``<expr>._queue`` / ``._nowq`` / ``._cal`` where the base
+    expression is anything but ``self``.  A class's *own* attribute of
+    the same name is a different namespace (e.g. a worker's thread-safe
+    ``self._queue``), so self-rooted accesses stay clean; the engine and
+    calendar modules themselves only ever use self-rooted access."""
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _EVENT_QUEUE_ATTRS
+            and not (isinstance(node.value, ast.Name) and node.value.id == "self")
+        ):
+            ctx.report(
+                node,
+                "event-queue",
+                f"direct access to an engine's {node.attr!r} bypasses the "
+                "(time, seq) tie-break and the same-instant staging FIFO; "
+                "schedule through Engine.schedule/schedule_at",
+            )
+
+
 def _check_mutable_defaults(ctx: FileContext) -> None:
     for node in ast.walk(ctx.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -280,3 +315,4 @@ def check(ctx: FileContext) -> None:
     _check_calls(ctx, imports)
     _check_set_iteration(ctx)
     _check_mutable_defaults(ctx)
+    _check_event_queue(ctx)

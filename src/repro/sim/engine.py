@@ -37,11 +37,21 @@ Example
 from __future__ import annotations
 
 import heapq  # lardlint: disable-file=raw-heapq -- this IS the engine: every push carries the (time, seq) tie-break the rule exists to enforce
-from typing import Any, Callable, Generator, List, Optional, Tuple
+import os
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+
+from .calendar import CalendarQueue
 
 __all__ = ["Engine", "Process", "Delay", "SimulationError"]
 
 _EMPTY_ARGS: Tuple[Any, ...] = ()
+
+#: Recognized event-queue implementations (``Engine(queue=...)`` /
+#: ``REPRO_ENGINE_QUEUE``).  Both dispatch in identical ``(time, seq)``
+#: order; the heap is the default because CPython's C ``heapq`` wins at
+#: the queue depths cluster simulations reach.
+QUEUE_KINDS = ("heap", "calendar")
 
 
 class SimulationError(RuntimeError):
@@ -140,9 +150,38 @@ class Engine:
     deadline.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Optional[str] = None) -> None:
+        if queue is None:
+            queue = os.environ.get("REPRO_ENGINE_QUEUE", "heap")
+        if queue not in QUEUE_KINDS:
+            raise SimulationError(
+                f"unknown event queue {queue!r}: expected one of {QUEUE_KINDS}"
+            )
+        #: Which event-queue implementation this engine dispatches from
+        #: ("heap" or "calendar"); fixed at construction.
+        self.queue_kind = queue
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = []
+        # Same-instant staging FIFO (heap mode only).  An event scheduled
+        # for the *current* clock reading necessarily sorts after every
+        # queued event with an earlier time and after every same-time
+        # event already in the heap (those were pushed at an earlier
+        # clock reading, hence with a smaller seq), so it can skip the
+        # heap entirely: a quarter of a cluster simulation's events are
+        # zero-delay admissions and wakeups, and each would otherwise
+        # sift to the heap root on push and back down on pop.  Entries
+        # keep the full (time, seq, callback, args) shape, so they can
+        # be flushed back into the heap whenever the invariant "staged
+        # time == current clock" is about to break (see run()).
+        self._nowq: Deque[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = (
+            deque()
+        )
+        # The calendar scheduler, when selected.  Scheduling methods
+        # branch on this being None; the heap hot loops below are only
+        # entered when it is.
+        self._cal: Optional[CalendarQueue] = (
+            CalendarQueue() if queue == "calendar" else None
+        )
         self._seq = 0
         self._stopped = False
         self.events_dispatched = 0
@@ -158,7 +197,18 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, args))
+        now = self.now
+        when = now + delay
+        if self._cal is None:
+            # Route on the *computed* event time, not on ``delay == 0``:
+            # a subnormal delay can round ``now + delay`` back to ``now``,
+            # and such an event must keep FIFO order with the staged ones.
+            if when > now:
+                heapq.heappush(self._queue, (when, self._seq, callback, args))
+            else:
+                self._nowq.append((when, self._seq, callback, args))
+        else:
+            self._cal.push((when, self._seq, callback, args))
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute simulated time ``when``.
@@ -173,7 +223,13 @@ class Engine:
                 f"cannot schedule into the past (when={when}, now={self.now})"
             )
         self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, callback, args))
+        if self._cal is None:
+            if when > self.now:
+                heapq.heappush(self._queue, (when, self._seq, callback, args))
+            else:
+                self._nowq.append((when, self._seq, callback, args))
+        else:
+            self._cal.push((when, self._seq, callback, args))
 
     def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         """Register a generator as a process, starting it at the current time."""
@@ -181,7 +237,10 @@ class Engine:
         # Start the process via the event queue (not synchronously) so that
         # creation order and execution order are both deterministic.
         self._seq += 1
-        heapq.heappush(self._queue, (self.now, self._seq, proc._resume, _EMPTY_ARGS))
+        if self._cal is None:
+            self._nowq.append((self.now, self._seq, proc._resume, _EMPTY_ARGS))
+        else:
+            self._cal.push((self.now, self._seq, proc._resume, _EMPTY_ARGS))
         return proc
 
     # -- execution ----------------------------------------------------------
@@ -193,35 +252,87 @@ class Engine:
         scheduled after it are left in the queue and the clock is advanced
         exactly to ``until``.
         """
+        if self._cal is not None:
+            return self._run_calendar(until)
+        self._flush_nowq()
         if self._sanitizer is not None:
             return self._run_sanitized(until)
         self._stopped = False
         queue = self._queue
+        nowq = self._nowq
         pop = heapq.heappop
         dispatched = 0
         try:
             if until is None:
-                # Hot loop: no peek, no bound checks — schedule/schedule_at
-                # guarantee event times are never in the past.
-                while queue and not self._stopped:
-                    when, _seq, callback, args = pop(queue)
+                # Hot loop: no bound checks — schedule/schedule_at
+                # guarantee event times are never in the past.  Staged
+                # same-instant events dispatch after any equal-time heap
+                # entry (the heap entry's seq is necessarily smaller).
+                # Most events carry no args (the flattened request path
+                # binds its state into the callback), and a plain call is
+                # measurably cheaper than a star-call on an empty tuple.
+                while not self._stopped:
+                    if nowq:
+                        if queue and queue[0][0] <= nowq[0][0]:
+                            when, _seq, callback, args = pop(queue)
+                        else:
+                            when, _seq, callback, args = nowq.popleft()
+                    elif queue:
+                        when, _seq, callback, args = pop(queue)
+                    else:
+                        break
                     self.now = when
                     dispatched += 1
-                    callback(*args)
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
                 return self.now
-            while queue and not self._stopped:
-                if queue[0][0] > until:
-                    self.now = until
-                    return self.now
-                when, _seq, callback, args = pop(queue)
+            while not self._stopped:
+                if nowq:
+                    if nowq[0][0] > until:
+                        self.now = until
+                        return self.now
+                    if queue and queue[0][0] <= nowq[0][0]:
+                        when, _seq, callback, args = pop(queue)
+                    else:
+                        when, _seq, callback, args = nowq.popleft()
+                elif queue:
+                    if queue[0][0] > until:
+                        self.now = until
+                        return self.now
+                    when, _seq, callback, args = pop(queue)
+                else:
+                    break
                 self.now = when
                 dispatched += 1
-                callback(*args)
+                if args:
+                    callback(*args)
+                else:
+                    callback()
             if self.now < until and not self._stopped:
                 self.now = until
             return self.now
         finally:
             self.events_dispatched += dispatched
+
+    def _flush_nowq(self) -> None:
+        """Re-heap staged same-instant events whose instant has passed.
+
+        Only a ``run(until=...)`` that rewound the clock (``until`` before
+        ``now``) can leave the staging FIFO holding events whose time no
+        longer equals the clock.  Entries keep their ``(time, seq)`` keys,
+        so re-inserting them into the heap preserves dispatch order
+        exactly; the run loops' tie rule (heap before FIFO at equal
+        times) then remains valid because it only ever compares entries
+        staged at the current clock reading.
+        """
+        nowq = self._nowq
+        if nowq and nowq[0][0] != self.now:
+            push = heapq.heappush
+            queue = self._queue
+            while nowq:
+                push(queue, nowq.popleft())
 
     def install_sanitizer(
         self, hook: Callable[[float, Callable[..., None]], None]
@@ -241,18 +352,65 @@ class Engine:
             raise SimulationError("no sanitizer installed")
         self._stopped = False
         queue = self._queue
+        nowq = self._nowq
         pop = heapq.heappop
         dispatched = 0
         try:
-            while queue and not self._stopped:
-                if until is not None and queue[0][0] > until:
-                    self.now = until
-                    return self.now
-                when, _seq, callback, args = pop(queue)
+            while not self._stopped:
+                if nowq:
+                    if until is not None and nowq[0][0] > until:
+                        self.now = until
+                        return self.now
+                    if queue and queue[0][0] <= nowq[0][0]:
+                        when, _seq, callback, args = pop(queue)
+                    else:
+                        when, _seq, callback, args = nowq.popleft()
+                elif queue:
+                    if until is not None and queue[0][0] > until:
+                        self.now = until
+                        return self.now
+                    when, _seq, callback, args = pop(queue)
+                else:
+                    break
                 self.now = when
                 dispatched += 1
                 callback(*args)
                 hook(when, callback)
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+            return self.now
+        finally:
+            self.events_dispatched += dispatched
+
+    def _run_calendar(self, until: Optional[float]) -> float:
+        """The :meth:`run` loop over the calendar queue.
+
+        One loop serves both plain and sanitized runs: the calendar
+        scheduler is the correctness-checked alternate, not the perf
+        default, so it does not warrant the heap's specialized loops.
+        An event past ``until`` is pushed back rather than peeked —
+        re-inserting the same ``(time, seq)`` entry preserves order.
+        """
+        cal = self._cal
+        if cal is None:  # pragma: no cover - run() guards this
+            raise SimulationError("no calendar queue installed")
+        hook = self._sanitizer
+        self._stopped = False
+        dispatched = 0
+        try:
+            while len(cal) and not self._stopped:
+                entry = cal.pop()
+                when = entry[0]
+                if until is not None and when > until:
+                    cal.push(entry)
+                    self.now = until
+                    return self.now
+                self.now = when
+                dispatched += 1
+                callback = entry[2]
+                callback(*entry[3])
+                if hook is not None:
+                    hook(when, callback)
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
             return self.now
@@ -266,7 +424,9 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events still queued."""
-        return len(self._queue)
+        if self._cal is not None:
+            return len(self._cal)
+        return len(self._queue) + len(self._nowq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self.now:.6f} pending={self.pending}>"

@@ -21,7 +21,7 @@ reported without sampling.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .engine import Engine, Process, SimulationError
 
@@ -48,7 +48,11 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._busy = 0
-        self._waiting: Deque[Tuple[Process, Optional[float]]] = deque()
+        # Waiters are stored as their *resume callables*, not process
+        # objects: generator processes enqueue ``process._resume`` and
+        # the flattened fast path (repro.cluster.fastpath) enqueues its
+        # per-stage bound callbacks, so one queue serves both styles.
+        self._waiting: Deque[Tuple[Callable[..., None], Optional[float]]] = deque()
         # Utilization accounting: integral of (busy servers) dt.
         self._busy_integral = 0.0
         self._last_change = engine.now
@@ -88,7 +92,7 @@ class Resource:
 
     # -- mechanics ----------------------------------------------------------
 
-    def _enqueue(self, process: Process, duration: Optional[float]) -> None:
+    def _enqueue(self, resume: Callable[..., None], duration: Optional[float]) -> None:
         # _start's body is inlined for the uncontended case: enqueue and
         # finish are the two most frequent operations in a simulation.
         if self._busy < self.capacity:
@@ -98,27 +102,27 @@ class Resource:
             self._last_change = now
             self._busy += 1
             if duration is None:
-                # Acquire-style hold: resume the process immediately; it
+                # Acquire-style hold: resume the caller immediately; it
                 # will yield Release(resource) later.
-                engine.schedule(0.0, process._resume)
+                engine.schedule(0.0, resume)
             else:
-                engine.schedule(duration, self._finish_cb, process)
+                engine.schedule(duration, self._finish_cb, resume)
         else:
-            self._waiting.append((process, duration))
+            self._waiting.append((resume, duration))
 
-    def _start(self, process: Process, duration: Optional[float]) -> None:
+    def _start(self, resume: Callable[..., None], duration: Optional[float]) -> None:
         now = self.engine.now
         self._busy_integral += self._busy * (now - self._last_change)
         self._last_change = now
         self._busy += 1
         if duration is None:
-            # Acquire-style hold: resume the process immediately; it will
+            # Acquire-style hold: resume the caller immediately; it will
             # yield Release(resource) later.
-            self.engine.schedule(0.0, process._resume)
+            self.engine.schedule(0.0, resume)
         else:
-            self.engine.schedule(duration, self._finish_cb, process)
+            self.engine.schedule(duration, self._finish_cb, resume)
 
-    def _finish(self, process: Process) -> None:
+    def _finish(self, resume: Callable[..., None]) -> None:
         self.jobs_served += 1
         now = self.engine.now
         self._busy_integral += self._busy * (now - self._last_change)
@@ -127,7 +131,7 @@ class Resource:
         if self._waiting and self._busy < self.capacity:
             waiter, duration = self._waiting.popleft()
             self._start(waiter, duration)
-        process._step()
+        resume()
 
     def _release_server(self) -> None:
         now = self.engine.now
@@ -137,8 +141,8 @@ class Resource:
         if self._busy < 0:  # pragma: no cover - defensive
             raise SimulationError(f"resource {self.name!r} released below zero")
         if self._waiting and self._busy < self.capacity:
-            process, duration = self._waiting.popleft()
-            self._start(process, duration)
+            resume, duration = self._waiting.popleft()
+            self._start(resume, duration)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -159,7 +163,7 @@ class Service:
         self.duration = duration
 
     def _activate(self, process: Process) -> None:
-        self.resource._enqueue(process, self.duration)
+        self.resource._enqueue(process._resume, self.duration)
 
 
 class Acquire:
@@ -171,7 +175,7 @@ class Acquire:
         self.resource = resource
 
     def _activate(self, process: Process) -> None:
-        self.resource._enqueue(process, None)
+        self.resource._enqueue(process._resume, None)
 
 
 class Release:
@@ -200,7 +204,10 @@ class SimEvent:
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._waiters: List[Process] = []
+        # Resume callables (see Resource._waiting): a generator waiter
+        # registers ``process._resume``, a fast-path connection its
+        # coalesced-wakeup callback.
+        self._waiters: List[Callable[..., None]] = []
 
     def trigger(self, value: Any = None) -> None:
         """Fire the event, resuming every waiter with ``value``."""
@@ -209,8 +216,8 @@ class SimEvent:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self.engine.schedule(0.0, process._resume, value)
+        for resume in waiters:
+            self.engine.schedule(0.0, resume, value)
 
     @property
     def waiter_count(self) -> int:
@@ -233,4 +240,4 @@ class Wait:
         if self.event.triggered:
             self.event.engine.schedule(0.0, process._resume, self.event.value)
         else:
-            self.event._waiters.append(process)
+            self.event._waiters.append(process._resume)

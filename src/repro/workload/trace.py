@@ -96,6 +96,43 @@ class Trace:
         """Per-request byte sizes (vectorized)."""
         return self.sizes_by_target[self.targets]
 
+    def request_lists(self) -> Tuple[List[int], List[int]]:
+        """``(targets, sizes_by_target)`` as plain Python lists, memoized.
+
+        The admission loop indexes these once per request; indexing the
+        numpy arrays directly would box a fresh numpy scalar each time.
+        The conversion is done once per trace (not once per simulation),
+        so parameter sweeps that reuse a trace across many cells pay it
+        a single time.
+        """
+        cached = getattr(self, "_request_lists", None)
+        if cached is None:
+            cached = (self.targets.tolist(), self.sizes_by_target.tolist())
+            self._request_lists = cached
+        return cached
+
+    def transmit_units(self, unit_bytes: int = 512) -> List[int]:
+        """Per-target size in ``unit_bytes`` blocks (rounded up), memoized.
+
+        This is the cost-parameter array the fast request path consumes:
+        CPU transmit time for target ``t`` is ``units[t] *
+        seconds_per_unit``, so the per-request integer division is
+        precomputed for the whole catalog in one vectorized pass.
+        """
+        if unit_bytes < 1:
+            raise TraceError(f"unit_bytes must be >= 1, got {unit_bytes}")
+        cache = getattr(self, "_transmit_units", None)
+        if cache is None:
+            cache = {}
+            self._transmit_units = cache
+        units = cache.get(unit_bytes)
+        if units is None:
+            units = (
+                (self.sizes_by_target + (unit_bytes - 1)) // unit_bytes
+            ).tolist()
+            cache[unit_bytes] = units
+        return units
+
     # -- aggregate statistics ----------------------------------------------------
 
     @property

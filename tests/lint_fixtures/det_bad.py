@@ -26,3 +26,7 @@ def collect(out=[]):
 
 def push(queue, when):
     heapq.heappush(queue, (when, None))
+
+
+def sneak(engine, callback):
+    engine._queue.append((0.0, 0, callback, ()))

@@ -27,3 +27,18 @@ def collect(out=None):
     if out is None:
         out = []
     return out
+
+
+class Worker:
+    """A class's own ``_queue`` is a different namespace entirely."""
+
+    def __init__(self):
+        self._queue = []
+
+    def put(self, item):
+        self._queue.append(item)
+
+
+def scheduled(engine, callback):
+    engine.schedule(0.0, callback)
+    engine.schedule_at(engine.now, callback)

@@ -1,0 +1,96 @@
+"""Byte-identity: the flattened fast path vs the generator twins.
+
+``repro.cluster.fastpath`` replays the request lifecycle as an explicit
+state machine; its contract is that every simulation output — counters,
+delays, busy-time integrals, per-node series — is *equal*, not merely
+close, to the generator path's.  These tests run the same simulation
+under ``REPRO_SIM_FASTPATH=1`` and ``=0`` (and under both event-queue
+implementations) and compare entire result dataclasses.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import run_simulation
+from repro.workload.synthetic import synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_trace(
+        num_requests=3000,
+        num_targets=400,
+        total_bytes=64 * 2**20,
+        zipf_alpha=1.0,
+        seed=11,
+    )
+
+
+def _run(trace, monkeypatch, fastpath, queue="heap", **kwargs):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fastpath else "0")
+    monkeypatch.setenv("REPRO_ENGINE_QUEUE", queue)
+    result = run_simulation(trace, **kwargs)
+    return dataclasses.asdict(result)
+
+
+_CONFIGS = [
+    dict(policy="lard", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="lard/r", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="wrr", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="lb/gc", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="lard/r", num_nodes=2, node_cache_bytes=2**18, disks_per_node=3),
+    dict(policy="lard", num_nodes=4, node_cache_bytes=2**19, coalesce_reads=False),
+    dict(
+        policy="lard/r",
+        num_nodes=3,
+        node_cache_bytes=2**19,
+        membership_events=((0.5, "fail", 1), (1.5, "join", 1)),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "config", _CONFIGS, ids=lambda c: "-".join(str(v) for v in c.values())
+)
+def test_fastpath_matches_generator_path(trace, monkeypatch, config):
+    fast = _run(trace, monkeypatch, fastpath=True, **config)
+    slow = _run(trace, monkeypatch, fastpath=False, **config)
+    assert fast == slow
+
+
+def test_fastpath_matches_on_calendar_queue(trace, monkeypatch):
+    config = dict(policy="lard/r", num_nodes=4, node_cache_bytes=2**19)
+    runs = {
+        (fp, q): _run(trace, monkeypatch, fastpath=fp, queue=q, **config)
+        for fp in (True, False)
+        for q in ("heap", "calendar")
+    }
+    reference = runs[(True, "heap")]
+    for key, result in runs.items():
+        assert result == reference, f"diverged under {key}"
+
+
+def test_fastpath_is_actually_selected(trace, monkeypatch):
+    """Guard against the fast path silently disabling itself: the
+    eligibility conditions in FrontEnd must hold for the paper's
+    standard configuration."""
+    from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+
+    monkeypatch.delenv("REPRO_SIM_FASTPATH", raising=False)
+    sim = ClusterSimulator(
+        trace,
+        ClusterConfig(policy="lard/r", num_nodes=4, node_cache_bytes=2**19),
+    )
+    assert sim.frontend._fastpath is not None
+
+
+def test_fastpath_disabled_by_env(trace, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+    from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+
+    sim = ClusterSimulator(
+        trace,
+        ClusterConfig(policy="lard/r", num_nodes=4, node_cache_bytes=2**19),
+    )
+    assert sim.frontend._fastpath is None

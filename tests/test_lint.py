@@ -30,6 +30,7 @@ def test_determinism_positive_fixture_trips_every_rule():
         "set-iteration",
         "mutable-default",
         "raw-heapq",
+        "event-queue",
     }
 
 

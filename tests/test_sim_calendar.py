@@ -1,0 +1,200 @@
+"""Property tests: the calendar queue dispatches exactly like the heap.
+
+The engine's two event-queue implementations must consume identical
+``(time, seq)`` streams — byte-identical simulations depend on it.  These
+tests drive a heap engine and a calendar engine through the *same*
+schedule program (including events scheduled from inside callbacks, 0.0
+delays, same-time ties, ``schedule_at`` at the current instant, ``stop()``
+mid-run, and ``run(until=...)`` boundaries) and require the dispatch logs
+to match element for element.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sim import Engine
+from repro.sim.calendar import CalendarQueue
+
+# A schedule program is a list of instructions, one per event label.  When
+# event ``i`` fires it schedules the children listed in ``program[i]``;
+# child indices always point *forward* so the recursion terminates.  Each
+# child is (index, mode, delay): mode "rel" uses schedule(delay), "abs"
+# uses schedule_at(now + delay), and "at-now" uses schedule_at(now).
+_delays = st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.75])
+_modes = st.sampled_from(["rel", "abs", "at-now"])
+
+
+@st.composite
+def _programs(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    program = []
+    for i in range(n):
+        children = draw(
+            st.lists(
+                st.tuples(st.integers(i + 1, max(i + 1, n - 1)), _modes, _delays),
+                min_size=0,
+                max_size=3,
+            )
+        )
+        if i >= n - 1:
+            children = []  # the last label cannot have forward children
+        program.append(children)
+    roots = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), _delays), min_size=1, max_size=6
+        )
+    )
+    return program, roots
+
+
+def _execute(engine, program, roots, log, stop_at=None, until_steps=None):
+    """Run ``program`` on ``engine``, appending (label, time) to ``log``."""
+
+    def fire(label):
+        log.append((label, engine.now))
+        if stop_at is not None and len(log) == stop_at:
+            engine.stop()
+        for child, mode, delay in program[label]:
+            if mode == "rel":
+                engine.schedule(delay, fire, child)
+            elif mode == "abs":
+                engine.schedule_at(engine.now + delay, fire, child)
+            else:
+                engine.schedule_at(engine.now, fire, child)
+
+    for label, delay in roots:
+        engine.schedule(delay, fire, label)
+    if until_steps:
+        for until in until_steps:
+            engine.run(until=until)
+    engine.run()
+    return log
+
+
+def _compare(program, roots, stop_at=None, until_steps=None):
+    heap_log = _execute(
+        Engine(queue="heap"), program, roots, [], stop_at, until_steps
+    )
+    cal_log = _execute(
+        Engine(queue="calendar"), program, roots, [], stop_at, until_steps
+    )
+    assert heap_log == cal_log
+    return heap_log
+
+
+@given(_programs())
+@settings(max_examples=120, deadline=None)
+def test_heap_and_calendar_dispatch_identically(prog):
+    program, roots = prog
+    log = _compare(program, roots)
+    times = [t for _, t in log]
+    assert times == sorted(times)  # time never moves backwards
+
+
+@given(_programs())
+@settings(max_examples=80, deadline=None)
+def test_identical_with_stop_and_resume(prog):
+    """stop() mid-run halts both queues at the same event; a fresh run()
+    resumes both from the identical remaining stream."""
+    program, roots = prog
+    _compare(program, roots, stop_at=2)
+
+
+@given(_programs(), st.lists(_delays, min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_identical_across_until_boundaries(prog, boundaries):
+    """run(until=...) windows — including boundaries that land exactly on
+    event times — leave both queues in interchangeable states."""
+    program, roots = prog
+    until_steps = sorted(boundaries)
+    log = _compare(program, roots, until_steps=until_steps)
+    times = [t for _, t in log]
+    assert times == sorted(times)
+
+
+def test_until_boundary_dispatches_events_at_exactly_until():
+    """An event scheduled exactly at ``until`` runs within that window on
+    both queues, and the clock parks exactly at ``until``."""
+    for kind in ("heap", "calendar"):
+        eng = Engine(queue=kind)
+        log = []
+        eng.schedule(1.0, log.append, "a")
+        eng.schedule(2.0, log.append, "b")
+        assert eng.run(until=1.0) == 1.0
+        assert log == ["a"], kind
+        assert eng.pending == 1, kind
+
+
+def test_schedule_at_now_runs_after_queued_same_time_events():
+    """schedule_at(now) from inside a callback must run after every event
+    already queued for this instant — on both queues."""
+    logs = {}
+    for kind in ("heap", "calendar"):
+        eng = Engine(queue=kind)
+        log = logs.setdefault(kind, [])
+
+        def late():
+            log.append("late")
+
+        def first():
+            log.append("first")
+            eng.schedule_at(eng.now, late)
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, log.append, "second")  # queued before `late` exists
+        eng.run()
+    assert logs["heap"] == ["first", "second", "late"]
+    assert logs["heap"] == logs["calendar"]
+
+
+def test_zero_delay_cascade_keeps_fifo_order():
+    """A chain of 0.0-delay events at one instant dispatches in insertion
+    order on both queues (the heap stages these in a same-instant FIFO)."""
+    logs = {}
+    for kind in ("heap", "calendar"):
+        eng = Engine(queue=kind)
+        log = logs.setdefault(kind, [])
+        for name in "abc":
+            eng.schedule(0.0, log.append, name)
+        eng.schedule(0.0, lambda: eng.schedule(0.0, log.append, "child"))
+        eng.run()
+    assert logs["heap"] == ["a", "b", "c", "child"]
+    assert logs["heap"] == logs["calendar"]
+
+
+def test_calendar_resizes_and_preserves_order_under_load():
+    """Push enough spread-out events to force calendar resizes; dispatch
+    order must stay the exact (time, seq) order the heap produces."""
+    heap_eng, cal_eng = Engine(queue="heap"), Engine(queue="calendar")
+    logs = ([], [])
+    for eng, log in zip((heap_eng, cal_eng), logs):
+        for i in range(500):
+            # Deterministic pseudo-spread with exact float ties.
+            eng.schedule((i * 37 % 101) * 0.125, log.append, i)
+        eng.run()
+    assert logs[0] == logs[1]
+
+
+def test_calendar_queue_len_and_pop_order_standalone():
+    cal = CalendarQueue()
+    entries = [(3.0, 1, None, ()), (1.0, 2, None, ()), (1.0, 3, None, ()), (0.0, 4, None, ())]
+    for e in entries:
+        cal.push(e)
+    assert len(cal) == 4
+    assert [cal.pop()[:2] for _ in range(4)] == [(0.0, 4), (1.0, 2), (1.0, 3), (3.0, 1)]
+    assert len(cal) == 0
+
+
+def test_unknown_queue_kind_rejected():
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        Engine(queue="splay")
+
+
+def test_env_var_selects_calendar(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_QUEUE", "calendar")
+    assert Engine().queue_kind == "calendar"
+    monkeypatch.delenv("REPRO_ENGINE_QUEUE")
+    assert Engine().queue_kind == "heap"

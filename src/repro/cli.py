@@ -162,6 +162,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print every rule id and exit"
     )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="finding output format (github prints workflow annotations)",
+    )
+    lint.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print call-graph size and analysis timings to stderr",
+    )
+    lint.add_argument(
+        "--callgraph-cache",
+        metavar="FILE",
+        help="pickle file caching the project call graph keyed by source digest",
+    )
     return parser
 
 
@@ -337,6 +353,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         lint_argv = list(args.paths)
         if args.list_rules:
             lint_argv.append("--list-rules")
+        if args.format != "text":
+            lint_argv.append(f"--format={args.format}")
+        if args.statistics:
+            lint_argv.append("--statistics")
+        if args.callgraph_cache:
+            lint_argv.extend(["--callgraph-cache", args.callgraph_cache])
         return lint_main(lint_argv)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

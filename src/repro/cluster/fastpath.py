@@ -72,6 +72,13 @@ from ..sim.resources import SimEvent
 
 __all__ = ["FastPath", "FastConnection"]
 
+# Audited by lardlint's twin-drift pass: each side's call-graph closure
+# must expose the same effect skeleton (see docs/static-analysis.md).
+__twin_of__ = {
+    "FastPath.admit": "repro.cluster.frontend.FrontEnd._admit",
+    "FastConnection._begin": "repro.cluster.frontend.FrontEnd._single_request",
+}
+
 #: Shared empty plan for single-service data paths (cache hits,
 #: coalesced reads): ``_advance`` sees no remaining steps and proceeds
 #: straight to teardown.

@@ -37,6 +37,15 @@ from .node import BackendNode
 
 __all__ = ["FrontEnd", "PERSISTENT_POLICIES"]
 
+# Audited by lardlint's twin-drift pass: the traced and faulty admission
+# variants must keep the same effect skeleton as the plain ones.
+__twin_of__ = {
+    "FrontEnd._admit_traced": "repro.cluster.frontend.FrontEnd._admit",
+    "FrontEnd._admit_faulty": "repro.cluster.frontend.FrontEnd._admit",
+    "FrontEnd._connection_traced": "repro.cluster.frontend.FrontEnd._connection",
+    "FrontEnd._connection_faulty": "repro.cluster.frontend.FrontEnd._connection",
+}
+
 PERSISTENT_POLICIES = ("sticky", "rehandoff")
 
 
@@ -135,7 +144,7 @@ class FrontEnd:
             requests_per_connection == 1
             and len(nodes) > 0
             and all(n.costs is nodes[0].costs for n in nodes)
-            and os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+            and os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"  # lardlint: disable=transitive-nondeterminism -- config-time escape hatch; fastpath and generator path are byte-identity-tested twins
         ):
             self._fastpath = FastPath(self)
 

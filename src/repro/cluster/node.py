@@ -33,6 +33,12 @@ from .costs import CostModel
 
 __all__ = ["BackendNode"]
 
+# Audited by lardlint's twin-drift pass: the traced serve path must keep
+# the same effect skeleton as the plain one.
+__twin_of__ = {
+    "BackendNode.serve_traced": "repro.cluster.node.BackendNode.serve",
+}
+
 
 class BackendNode:
     """One simulated back-end: CPU + disks + cache, serving whole requests."""

@@ -288,7 +288,7 @@ class ClusterSimulator:
             )
             self.frontend.faults = self.fault_runtime
         self.sanitizer: Optional[InvariantSanitizer] = None
-        if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":
+        if config.sanitize or os.environ.get("REPRO_SANITIZE") == "1":  # lardlint: disable=transitive-nondeterminism -- config-time switch; the sanitizer only checks invariants and CI proves results identical with it on
             sanitizer = InvariantSanitizer(deep_interval=config.sanitize_interval)
             sanitizer.watch_frontend(self.frontend)
             sanitizer.watch_policy(self.policy)

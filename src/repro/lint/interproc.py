@@ -1,0 +1,120 @@
+"""Interprocedural determinism taint (rule ``transitive-nondeterminism``).
+
+The per-file determinism rules catch a ``time.time()`` *in* a
+determinism-scoped file; this pass catches determinism-scoped code that
+*reaches* one through any number of calls.  Sources (wall-clock reads,
+global-RNG use, unordered-set iteration, ``os.urandom``, environment
+reads) are seeded from :class:`~repro.lint.callgraph.SourceRecord`s and
+propagated backwards along the project call graph — including callback
+*reference* edges, since a stored stage callback will be invoked by the
+engine.  Every call site in a determinism-scoped file whose callee is
+tainted yields one finding whose message prints the shortest witness
+chain down to the source.
+
+A source is neutralized by a reasoned suppression at its own line, of
+either the matching per-file rule (``wall-clock``, ``global-random``,
+``set-iteration``) or ``transitive-nondeterminism`` itself (the only
+option for env/urandom reads, which have no per-file rule) — one
+suppression at the source silences the whole cone of callers, which is
+the right granularity for deliberate config-time reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from .callgraph import ProjectSummary
+from .findings import Finding
+from .suppress import Suppressions
+
+__all__ = ["RULES", "check"]
+
+RULES: Tuple[str, ...] = ("transitive-nondeterminism",)
+
+_RULE = "transitive-nondeterminism"
+
+
+def _live_sources(
+    project: ProjectSummary, suppressions: Mapping[str, Suppressions]
+) -> Dict[str, str]:
+    """function qualname -> source detail, for unsuppressed sources."""
+    out: Dict[str, str] = {}
+    for func in project.functions.values():
+        sup = suppressions.get(func.path)
+        for source in func.sources:
+            if sup is not None and (
+                sup.is_suppressed(source.kind, source.line)
+                or sup.is_suppressed(_RULE, source.line)
+            ):
+                continue
+            out.setdefault(func.qualname, source.detail)
+    return out
+
+
+def _taint(
+    project: ProjectSummary, seeds: Dict[str, str]
+) -> Dict[str, Tuple[Tuple[str, ...], str]]:
+    """Breadth-first backward propagation: qualname -> (witness chain
+    from the function down to the source function, source detail)."""
+    callers: Dict[str, List[str]] = {}
+    for func in project.functions.values():
+        for site in func.calls:
+            callers.setdefault(site.callee, []).append(func.qualname)
+    taint: Dict[str, Tuple[Tuple[str, ...], str]] = {
+        qual: ((qual,), detail) for qual, detail in sorted(seeds.items())
+    }
+    frontier = sorted(seeds)
+    while frontier:
+        next_frontier: List[str] = []
+        for tainted in frontier:
+            chain, detail = taint[tainted]
+            for caller in callers.get(tainted, ()):
+                if caller not in taint:
+                    taint[caller] = ((caller,) + chain, detail)
+                    next_frontier.append(caller)
+        frontier = sorted(set(next_frontier))
+    return taint
+
+
+def _pretty(qualname: str) -> str:
+    return qualname[6:] if qualname.startswith("repro.") else qualname
+
+
+def check(
+    project: ProjectSummary,
+    scopes: Mapping[str, FrozenSet[str]],
+    suppressions: Mapping[str, Suppressions],
+) -> List[Finding]:
+    """All ``transitive-nondeterminism`` findings for the project."""
+    seeds = _live_sources(project, suppressions)
+    if not seeds:
+        return []
+    taint = _taint(project, seeds)
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, int]] = set()
+    for func in project.functions.values():
+        if "determinism" not in scopes.get(func.path, frozenset()):
+            continue
+        for site in func.calls:
+            reached = taint.get(site.callee)
+            if reached is None:
+                continue
+            key = (func.path, site.line, site.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            chain, detail = reached
+            witness = " -> ".join(_pretty(link) for link in chain)
+            findings.append(
+                Finding(
+                    path=func.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=_RULE,
+                    message=(
+                        f"call reaches a nondeterministic source: "
+                        f"{witness} -> {detail}"
+                    ),
+                )
+            )
+    return findings

@@ -3,28 +3,47 @@
 Rule families are applied by package path:
 
 * determinism — ``repro.sim``, ``repro.core``, ``repro.cache``,
-  ``repro.cluster``, ``repro.workload`` (everything whose output must be
-  a pure function of the trace and the seed);
-* concurrency — ``repro.handoff`` (the threaded live-cluster prototype);
+  ``repro.cluster``, ``repro.workload``, ``repro.analysis`` (everything
+  whose output must be a pure function of the trace and the seed);
+* concurrency — ``repro.handoff``, ``repro.obs`` (the threaded
+  live-cluster prototype and its observability layer);
 * hygiene — every file.
 
 Files outside the ``repro`` package (the lint fixture corpus under
 ``tests/lint_fixtures/``) get hygiene only, unless they force scopes with
 a ``# lardlint: scope=...`` directive.
+
+:func:`lint_file` runs the per-file rules on one file;
+:func:`lint_paths` additionally builds the project call graph
+(:mod:`repro.lint.callgraph`) over *all* the files and runs the
+whole-program passes — interprocedural determinism taint, lockset
+verification, and twin-drift auditing — on top.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
+import os
 import sys
+import time
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from . import concurrency, determinism, hygiene
+from . import callgraph, concurrency, determinism, hygiene, interproc, locksets, twins
 from .context import FileContext
 from .findings import Finding
-from .suppress import parse_suppressions
+from .suppress import Suppressions, parse_suppressions
 
 __all__ = [
     "ALL_RULES",
@@ -47,7 +66,12 @@ ALL_SCOPES: FrozenSet[str] = frozenset(
 #: Every suppressible rule id (``bad-suppression`` itself is deliberately
 #: not suppressible — a typo'd directive must always surface).
 ALL_RULES: FrozenSet[str] = frozenset(
-    determinism.RULES + concurrency.RULES + hygiene.RULES
+    determinism.RULES
+    + concurrency.RULES
+    + hygiene.RULES
+    + interproc.RULES
+    + locksets.RULES
+    + twins.RULES
 )
 
 _SCOPE_CHECKS = (
@@ -56,19 +80,28 @@ _SCOPE_CHECKS = (
     (SCOPE_HYGIENE, hygiene.check),
 )
 
-_DETERMINISM_PACKAGES = frozenset({"sim", "core", "cache", "cluster", "workload"})
+_DETERMINISM_PACKAGES = frozenset(
+    {"sim", "core", "cache", "cluster", "workload", "analysis"}
+)
 _CONCURRENCY_PACKAGES = frozenset({"handoff", "obs"})
 
 _hierarchy_cache: Dict[Path, Tuple[str, ...]] = {}
 
 
 def _repro_package(path: Path) -> str:
-    """Sub-package of ``repro`` that ``path`` sits in (``""`` if outside)."""
-    parts = path.resolve().parts
-    for i, part in enumerate(parts):
-        if part == "repro" and i + 1 < len(parts):
-            return parts[i + 1] if parts[i + 1].endswith(".py") is False else ""
-    return ""
+    """Sub-package of ``repro`` that ``path`` sits in (``""`` if outside).
+
+    Anchored on the *actual* package root — the topmost directory with an
+    ``__init__.py`` — not on any path component that happens to be named
+    ``repro``, so a checkout under ``/home/repro-x/...`` classifies
+    correctly.
+    """
+    resolved = path.resolve()
+    root = callgraph.package_root(resolved)
+    if root is None or root.name != "repro":
+        return ""
+    relative = resolved.relative_to(root)
+    return relative.parts[0] if len(relative.parts) > 1 else ""
 
 
 def _default_scopes(package: str) -> FrozenSet[str]:
@@ -119,23 +152,48 @@ def _load_lock_hierarchy(directory: Path) -> Tuple[str, ...]:
     return hierarchy
 
 
-def lint_file(path: Path, scopes: Optional[FrozenSet[str]] = None) -> List[Finding]:
-    """Lint one file, returning its sorted findings.
+class _ParsedFile:
+    """One successfully parsed file plus its lint context."""
 
-    ``scopes`` overrides both the path-derived defaults and any ``scope=``
-    directive in the file (used by tests to pin a fixture's rule set).
-    """
+    __slots__ = ("path", "display", "source", "tree", "scopes", "suppressions")
+
+    def __init__(
+        self,
+        path: Path,
+        display: str,
+        source: str,
+        tree: ast.Module,
+        scopes: FrozenSet[str],
+        suppressions: Suppressions,
+    ) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.scopes = scopes
+        self.suppressions = suppressions
+
+
+def _lint_one(
+    path: Path, scopes: Optional[FrozenSet[str]] = None
+) -> Tuple[List[Finding], Optional[_ParsedFile]]:
+    """Per-file rules for ``path``: (findings, parsed file or None)."""
     display = str(path)
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
-        return [Finding(display, 1, 0, "parse-error", f"cannot read file: {exc}")]
+        return [Finding(display, 1, 0, "parse-error", f"cannot read file: {exc}")], None
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [
-            Finding(display, exc.lineno or 1, 0, "parse-error", f"syntax error: {exc.msg}")
-        ]
+        return (
+            [
+                Finding(
+                    display, exc.lineno or 1, 0, "parse-error", f"syntax error: {exc.msg}"
+                )
+            ],
+            None,
+        )
 
     suppressions = parse_suppressions(source, display, ALL_RULES, ALL_SCOPES)
     if scopes is None:
@@ -162,7 +220,19 @@ def lint_file(path: Path, scopes: Optional[FrozenSet[str]] = None) -> List[Findi
         if not suppressions.is_suppressed(finding.rule, finding.line)
     ]
     kept.extend(suppressions.errors)
-    return sorted(kept)
+    return kept, _ParsedFile(path, display, source, tree, scopes, suppressions)
+
+
+def lint_file(path: Path, scopes: Optional[FrozenSet[str]] = None) -> List[Finding]:
+    """Run the *per-file* rules on one file, returning sorted findings.
+
+    ``scopes`` overrides both the path-derived defaults and any ``scope=``
+    directive in the file (used by tests to pin a fixture's rule set).
+    The whole-program passes need the rest of the project and only run
+    under :func:`lint_paths`.
+    """
+    findings, _ = _lint_one(path, scopes)
+    return sorted(findings)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> List[Path]:
@@ -175,12 +245,104 @@ def _iter_python_files(paths: Iterable[Path]) -> List[Path]:
     return files
 
 
-def lint_paths(paths: Iterable[Path]) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` (dirs recurse), sorted."""
+def lint_paths(
+    paths: Iterable[Path],
+    cache_file: Optional[Path] = None,
+    stats: Optional[Dict[str, Union[int, float]]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (dirs recurse), sorted.
+
+    Runs the per-file rules on each file, then builds the project call
+    graph over all of them and runs the interprocedural passes
+    (``transitive-nondeterminism``, ``unverified-locked-helper``,
+    ``cross-module-unguarded-write``, ``twin-drift``).
+
+    ``cache_file`` (or the ``REPRO_LINT_CACHE`` environment variable via
+    the CLI) persists the built call graph keyed by a digest of all
+    sources; ``stats`` receives counts and per-phase timings when given.
+    """
+    started = time.perf_counter()
     findings: List[Finding] = []
+    parsed: List[_ParsedFile] = []
     for file in _iter_python_files(paths):
-        findings.extend(lint_file(file))
+        per_file, record = _lint_one(file)
+        findings.extend(per_file)
+        if record is not None:
+            parsed.append(record)
+    parse_done = time.perf_counter()
+
+    scope_map = {record.display: record.scopes for record in parsed}
+    sup_map = {record.display: record.suppressions for record in parsed}
+    digest = callgraph.project_digest(
+        [(record.display, record.source) for record in parsed]
+    )
+    project = callgraph.load_cached(cache_file, digest) if cache_file else None
+    from_cache = project is not None
+    if project is None:
+        project = callgraph.build_project(
+            [(record.path, record.display, record.tree) for record in parsed], digest
+        )
+        if cache_file is not None:
+            callgraph.store_cached(cache_file, project)
+    graph_done = time.perf_counter()
+
+    for finding in (
+        interproc.check(project, scope_map, sup_map)
+        + locksets.check(project, scope_map)
+        + twins.check(project, scope_map)
+    ):
+        suppressions = sup_map.get(finding.path)
+        if suppressions is not None and suppressions.is_suppressed(
+            finding.rule, finding.line
+        ):
+            continue
+        findings.append(finding)
+    passes_done = time.perf_counter()
+
+    if stats is not None:
+        stats["files"] = len(parsed)
+        stats["functions"] = len(project.functions)
+        stats["classes"] = len(project.classes)
+        stats["edges"] = sum(len(f.calls) for f in project.functions.values())
+        stats["graph_cached"] = int(from_cache)
+        stats["parse_s"] = parse_done - started
+        stats["graph_s"] = graph_done - parse_done
+        stats["passes_s"] = passes_done - graph_done
+        stats["total_s"] = passes_done - started
     return sorted(findings)
+
+
+def _github_escape(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _emit(findings: Sequence[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": finding.path,
+                        "line": finding.line,
+                        "col": finding.col,
+                        "rule": finding.rule,
+                        "message": finding.message,
+                    }
+                    for finding in findings
+                ],
+                indent=2,
+            )
+        )
+        return
+    for finding in findings:
+        if fmt == "github":
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"col={finding.col},title=lardlint {finding.rule}::"
+                f"{_github_escape(finding.message)}"
+            )
+        else:
+            print(finding.format())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -199,6 +361,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print every rule id and exit"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="finding output format (github prints workflow annotations)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print call-graph size and per-phase analysis timings to stderr",
+    )
+    parser.add_argument(
+        "--callgraph-cache",
+        type=Path,
+        default=None,
+        help="pickle file caching the project call graph keyed by source "
+        "digest (default: $REPRO_LINT_CACHE when set)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -206,10 +386,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(rule)
         return 0
 
+    cache_file = args.callgraph_cache
+    if cache_file is None:
+        cache_env = os.environ.get("REPRO_LINT_CACHE")
+        if cache_env:
+            cache_file = Path(cache_env)
+
     paths = args.paths or [Path(__file__).resolve().parent.parent]
-    findings = lint_paths(paths)
-    for finding in findings:
-        print(finding.format())
+    stats: Dict[str, Union[int, float]] = {}
+    findings = lint_paths(paths, cache_file=cache_file, stats=stats)
+    _emit(findings, args.format)
+    if args.statistics:
+        print(
+            "lardlint: {files} files, {functions} functions, {classes} classes, "
+            "{edges} call edges (graph {cached}); parse {parse_s:.3f}s, "
+            "graph {graph_s:.3f}s, passes {passes_s:.3f}s, total {total_s:.3f}s".format(
+                files=stats.get("files", 0),
+                functions=stats.get("functions", 0),
+                classes=stats.get("classes", 0),
+                edges=stats.get("edges", 0),
+                cached="cached" if stats.get("graph_cached") else "rebuilt",
+                parse_s=stats.get("parse_s", 0.0),
+                graph_s=stats.get("graph_s", 0.0),
+                passes_s=stats.get("passes_s", 0.0),
+                total_s=stats.get("total_s", 0.0),
+            ),
+            file=sys.stderr,
+        )
     if findings:
         print(f"lardlint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

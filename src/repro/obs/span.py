@@ -278,7 +278,7 @@ class SpanWriter:
             if isinstance(sink, (str, Path))
             else sink
         )
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter()  # lardlint: disable=transitive-nondeterminism -- span timestamps are observability metadata, never fed back into scheduling
         self.records_written = 0
         self.spans_written = 0
         self._req_seq = 0
@@ -289,7 +289,7 @@ class SpanWriter:
 
     def clock(self) -> float:
         """Seconds since the writer was opened (the live emitters' clock)."""
-        return time.perf_counter() - self._t0
+        return time.perf_counter() - self._t0  # lardlint: disable=transitive-nondeterminism -- live emitters' clock; simulated tracing stamps engine time instead
 
     def at(self, perf_t: float) -> float:
         """Convert a ``time.perf_counter()`` stamp taken elsewhere (e.g.

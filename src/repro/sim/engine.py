@@ -45,6 +45,13 @@ from .calendar import CalendarQueue
 
 __all__ = ["Engine", "Process", "Delay", "SimulationError"]
 
+# Audited by lardlint's twin-drift pass: both alternate run loops must
+# keep the same engine-state effect skeleton as Engine.run.
+__twin_of__ = {
+    "Engine._run_sanitized": "repro.sim.engine.Engine.run",
+    "Engine._run_calendar": "repro.sim.engine.Engine.run",
+}
+
 _EMPTY_ARGS: Tuple[Any, ...] = ()
 
 #: Recognized event-queue implementations (``Engine(queue=...)`` /
@@ -152,7 +159,9 @@ class Engine:
 
     def __init__(self, queue: Optional[str] = None) -> None:
         if queue is None:
-            queue = os.environ.get("REPRO_ENGINE_QUEUE", "heap")
+            queue = os.environ.get(  # lardlint: disable=transitive-nondeterminism -- config-time queue selection; both queues are cross-checked byte-identical in CI
+                "REPRO_ENGINE_QUEUE", "heap"
+            )
         if queue not in QUEUE_KINDS:
             raise SimulationError(
                 f"unknown event queue {queue!r}: expected one of {QUEUE_KINDS}"

@@ -52,12 +52,12 @@ TRACE_GENERATORS: Dict[str, Callable[..., Trace]] = {
 
 def trace_cache_dir() -> Optional[Path]:
     """Resolve the cache directory from the environment (None = disabled)."""
-    env = os.environ.get("REPRO_TRACE_CACHE")
+    env = os.environ.get("REPRO_TRACE_CACHE")  # lardlint: disable=transitive-nondeterminism -- cache *location* only; cached traces are content-addressed by the synthesis parameters
     if env is not None:
         if env.strip().lower() in _DISABLED:
             return None
         return Path(env).expanduser()
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = os.environ.get("XDG_CACHE_HOME")  # lardlint: disable=transitive-nondeterminism -- cache *location* only; cached traces are content-addressed by the synthesis parameters
     root = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
     return root / "repro-lard" / "traces"
 

@@ -1,0 +1,28 @@
+# lardlint: scope=concurrency
+"""A declared lock-held helper called without its lock, plus a declared
+helper no call site ever runs under the documented lock."""
+
+import threading
+
+
+class Counter:
+    __guarded_by__ = {"total": ("_lock",), "dropped": ("_lock",)}
+    __locked_helpers__ = ("_bump", "_phantom")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self.dropped = 0
+
+    def _bump(self):
+        self.total += 1
+
+    def _phantom(self):
+        self.dropped += 1
+
+    def unlocked_increment(self):
+        self._bump()
+
+    def locked_increment(self):
+        with self._lock:
+            self._bump()

@@ -1,0 +1,9 @@
+# lardlint: scope=concurrency
+"""Foreign-receiver write to another class's guarded attribute without
+pinning the receiver's own lock."""
+
+from lock_helper_bad import Counter
+
+
+def drain(counter: Counter):
+    counter.total -= 1

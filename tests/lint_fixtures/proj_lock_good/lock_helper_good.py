@@ -1,0 +1,26 @@
+# lardlint: scope=concurrency
+"""Disciplined counterpart: every call site of the lock-held helper
+lexically holds the documented lock."""
+
+import threading
+
+
+class Counter:
+    __guarded_by__ = {"total": ("_lock",)}
+    __locked_helpers__ = ("_bump",)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def _bump(self):
+        self.total += 1
+
+    def locked_increment(self):
+        with self._lock:
+            self._bump()
+
+    def locked_double(self):
+        with self._lock:
+            self._bump()
+            self._bump()

@@ -1,0 +1,10 @@
+# lardlint: scope=concurrency
+"""Foreign-receiver write done right: the receiver's own declared lock
+is held around the write."""
+
+from lock_helper_good import Counter
+
+
+def drain(counter: Counter):
+    with counter._lock:
+        counter.total -= 1

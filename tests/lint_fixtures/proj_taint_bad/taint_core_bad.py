@@ -1,0 +1,12 @@
+# lardlint: scope=determinism
+"""Determinism-scoped caller reaching a wall-clock source two hops away."""
+
+from taint_util_bad import host_now
+
+
+def stamp():
+    return host_now()
+
+
+def step():
+    return stamp() + 1

@@ -1,0 +1,12 @@
+"""Hygiene-scoped helper module: the per-file determinism rules do not
+run here, so only the interprocedural taint pass can see the source."""
+
+import time
+
+
+def host_now():
+    return time.time()
+
+
+def innocent():
+    return 42

@@ -1,0 +1,12 @@
+# lardlint: scope=determinism
+"""Determinism-scoped caller of a neutralized source: stays clean."""
+
+from taint_util_good import cache_dir, innocent
+
+
+def configured():
+    return cache_dir()
+
+
+def step():
+    return innocent() + 1

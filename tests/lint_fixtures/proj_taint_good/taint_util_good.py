@@ -1,0 +1,12 @@
+"""Same shape as the bad corpus, but the source carries a reasoned
+suppression — one directive at the source silences the caller cone."""
+
+import os
+
+
+def cache_dir():
+    return os.environ.get("FIXTURE_CACHE")  # lardlint: disable=transitive-nondeterminism -- config-time location read, never reaches scheduling
+
+
+def innocent():
+    return 42

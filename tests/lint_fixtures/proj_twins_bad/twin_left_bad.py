@@ -1,0 +1,9 @@
+# lardlint: scope=determinism
+"""Declared twin whose counterpart lost an accounting effect."""
+
+__twin_of__ = {"runner": "twin_right_bad.runner"}
+
+
+def runner(stats):
+    stats.completed += 1
+    stats.in_flight -= 1

@@ -1,0 +1,5 @@
+"""The drifted counterpart: the in_flight accounting write is missing."""
+
+
+def runner(stats):
+    stats.completed += 1

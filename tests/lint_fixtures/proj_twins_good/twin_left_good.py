@@ -1,0 +1,9 @@
+# lardlint: scope=determinism
+"""Declared twin pair with identical effect skeletons."""
+
+__twin_of__ = {"runner": "twin_right_good.runner"}
+
+
+def runner(stats):
+    stats.completed += 1
+    stats.in_flight -= 1

@@ -1,0 +1,11 @@
+"""Same effects through a different mechanism: the in_flight write sits
+one call deeper, so the closure (not just the root body) must match."""
+
+
+def _account(stats):
+    stats.in_flight -= 1
+
+
+def runner(stats):
+    stats.completed += 1
+    _account(stats)

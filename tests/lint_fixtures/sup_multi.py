@@ -1,0 +1,9 @@
+# lardlint: scope=determinism
+"""Multi-rule disable list: one directive silences two rules on a line."""
+
+import random
+import time
+
+
+def jitter():
+    return time.time() * random.random()  # lardlint: disable=wall-clock,global-random -- fixture: a single comma-separated directive covers both rules

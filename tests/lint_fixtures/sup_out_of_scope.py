@@ -1,0 +1,9 @@
+"""Suppressing a known rule whose scope family is not active here: the
+directive is valid (not a bad-suppression) and simply matches nothing —
+this file defaults to hygiene scope, so wall-clock never runs."""
+
+import time
+
+
+def now():
+    return time.time()  # lardlint: disable=wall-clock -- rule family not active outside determinism scopes

@@ -26,6 +26,13 @@ from .chaos import (
     run_chaos_campaign,
 )
 from .chart import ascii_chart, experiment_chart
+from .scaleout import (
+    DEFAULT_SCALEOUT_POLICIES,
+    DEFAULT_SCALEOUT_SIZES,
+    SCALEOUT_COLUMNS,
+    run_scaleout_sweep,
+    write_scaleout_csv,
+)
 from .parallel import ParallelExecutionError, default_jobs, run_many
 from .report import ExperimentResult, format_table
 from .sweep import expand_parameters, result_row, sweep, write_csv
@@ -59,4 +66,9 @@ __all__ = [
     "ChaosScenario",
     "DEFAULT_CHAOS_POLICIES",
     "SCORECARD_COLUMNS",
+    "run_scaleout_sweep",
+    "write_scaleout_csv",
+    "DEFAULT_SCALEOUT_POLICIES",
+    "DEFAULT_SCALEOUT_SIZES",
+    "SCALEOUT_COLUMNS",
 ]

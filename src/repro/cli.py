@@ -12,6 +12,7 @@ Usage::
     lard-repro simulate --spans out.jsonl [--sample-interval S]
     lard-repro spans out.jsonl
     lard-repro chaos [--policies lard,wrr] [--seed N] [--csv out.csv]
+    lard-repro scaleout [--sizes 64,256,1024] [--policies chash,pod,...] [--csv out.csv]
     lard-repro lint [paths...] [--list-rules]
 
 (`python -m repro` is equivalent.)
@@ -147,6 +148,51 @@ def build_parser() -> argparse.ArgumentParser:
         "the scorecard is identical to --jobs 1)",
     )
     chaos.add_argument(
+        "--csv", metavar="OUT.csv", help="also write the scorecard to this CSV file"
+    )
+
+    scaleout = sub.add_parser(
+        "scaleout",
+        help="race the policy zoo across cluster sizes (default 64-1024 nodes)",
+    )
+    scaleout.add_argument("--trace", choices=sorted(_TRACES), default="rice")
+    scaleout.add_argument("--requests", type=int, default=200_000)
+    scaleout.add_argument("--scale-factor", type=float, default=0.25)
+    scaleout.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated cluster sizes (default: 64,256,1024)",
+    )
+    scaleout.add_argument(
+        "--policies",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated policies to race "
+        "(default: wrr,lard,lard/r,chash,pod,pod/lc)",
+    )
+    scaleout.add_argument(
+        "--seed", type=int, default=0, help="seed for randomized policies (pod, pod/lc)"
+    )
+    scaleout.add_argument(
+        "--pod-d", type=int, default=2, metavar="D", help="probes per request for pod/pod-lc"
+    )
+    scaleout.add_argument(
+        "--pod-replication",
+        type=int,
+        default=3,
+        metavar="R",
+        help="replica locations per target for pod/lc",
+    )
+    scaleout.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run cells in up to N worker processes (0 = one per CPU; "
+        "the scorecard is identical to --jobs 1)",
+    )
+    scaleout.add_argument(
         "--csv", metavar="OUT.csv", help="also write the scorecard to this CSV file"
     )
 
@@ -328,6 +374,74 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scaleout(args: argparse.Namespace) -> int:
+    from .analysis.report import format_table
+    from .analysis.scaleout import (
+        DEFAULT_SCALEOUT_POLICIES,
+        DEFAULT_SCALEOUT_SIZES,
+        SCALEOUT_COLUMNS,
+        run_scaleout_sweep,
+        write_scaleout_csv,
+    )
+
+    if args.policies is None:
+        policies = list(DEFAULT_SCALEOUT_POLICIES)
+    else:
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise PolicyError(
+                f"unknown policy {policy!r} (choose from {', '.join(POLICY_NAMES)})"
+            )
+    if args.sizes is None:
+        sizes = list(DEFAULT_SCALEOUT_SIZES)
+    else:
+        try:
+            sizes = [int(s.strip()) for s in args.sizes.split(",") if s.strip()]
+        except ValueError:
+            raise ValueError(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes or any(n < 1 for n in sizes):
+        raise ValueError(f"--sizes must name positive cluster sizes, got {args.sizes!r}")
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    trace = _make_trace(args.trace, args.requests, args.scale_factor)
+    rows = run_scaleout_sweep(
+        trace,
+        cluster_sizes=sizes,
+        policies=policies,
+        node_cache_bytes=int(PAPER_NODE_CACHE_BYTES * args.scale_factor),
+        policy_seed=args.seed,
+        pod_d=args.pod_d,
+        pod_replication=args.pod_replication,
+        jobs=jobs,
+    )
+    print(
+        f"scale-out sweep: trace={args.trace} requests={args.requests} "
+        f"sizes={','.join(str(n) for n in sizes)} seed={args.seed}"
+    )
+    display = [
+        [
+            row["policy"],
+            row["num_nodes"],
+            row["num_requests"],
+            round(row["throughput_rps"], 1),
+            round(row["cache_miss_ratio"], 4),
+            round(row["idle_fraction"], 4),
+            round(row["mean_delay_ms"], 1),
+            round(row["p99_delay_ms"], 1),
+        ]
+        for row in rows
+    ]
+    print(format_table(SCALEOUT_COLUMNS, display))
+    if args.csv:
+        path = write_scaleout_csv(rows, args.csv)
+        print(f"scorecard written to {path}")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -347,6 +461,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_spans(args.path)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "scaleout":
+        return _cmd_scaleout(args)
     if args.command == "lint":
         from .lint import main as lint_main
 

@@ -144,6 +144,13 @@ class FrontEnd:
             requests_per_connection == 1
             and len(nodes) > 0
             and all(n.costs is nodes[0].costs for n in nodes)
+            # Policies opt out of the flattened path by setting
+            # Policy.fastpath_safe = False (e.g. a future strategy that
+            # consumes entropy outside choose or overrides the inlined
+            # on_dispatch/on_complete hooks); they then always run the
+            # generator twins, which make no assumptions about the
+            # policy beyond the base-class contract.
+            and getattr(policy, "fastpath_safe", True)
             and os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"  # lardlint: disable=transitive-nondeterminism -- config-time escape hatch; fastpath and generator path are byte-identity-tested twins
         ):
             self._fastpath = FastPath(self)

@@ -182,6 +182,20 @@ class ClusterConfig:
     #: fault-free hot path.  Mutually exclusive with
     #: ``membership_events`` (the fault model subsumes them).
     fault_schedule: Optional[FaultSchedule] = None
+    #: Seed for randomized policies (``pod``, ``pod/lc``); equal seeds
+    #: reproduce byte-identical runs.
+    policy_seed: int = 0
+    #: Probes per request for ``pod``/``pod/lc``.
+    pod_d: int = 2
+    #: Replica locations per target for ``pod/lc`` (the r of
+    #: arXiv:1706.10209).
+    pod_replication: int = 3
+    #: Load-bound factor c for ``chash`` (arXiv:1608.01350).
+    chash_bound_factor: float = 1.25
+    #: Optional heterogeneous back-end capacity weights, one per node;
+    #: ``None`` (or an all-equal vector) keeps the paper's homogeneous
+    #: cluster and its exact integer comparison fast paths.
+    node_weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes >= 1:
@@ -192,6 +206,11 @@ class ClusterConfig:
             raise ValueError(
                 "fault_schedule and membership_events cannot be combined; "
                 "express clean fail/join pairs as CrashFaults instead"
+            )
+        if self.node_weights is not None and len(self.node_weights) != self.num_nodes:
+            raise ValueError(
+                f"node_weights must have one entry per node ({self.num_nodes}), "
+                f"got {len(self.node_weights)}"
             )
 
     def scaled_cpu(self, cpu_multiplier: float, memory_multiplier: float = 1.0) -> "ClusterConfig":
@@ -225,6 +244,15 @@ class ClusterSimulator:
             policy_kwargs["max_mappings"] = config.max_mappings
         if config.policy == "lard/r":
             policy_kwargs["k_seconds"] = config.k_seconds
+        if config.policy in ("pod", "pod/lc"):
+            policy_kwargs["d"] = config.pod_d
+            policy_kwargs["seed"] = config.policy_seed
+        if config.policy == "pod/lc":
+            policy_kwargs["replication"] = config.pod_replication
+        if config.policy == "chash":
+            policy_kwargs["bound_factor"] = config.chash_bound_factor
+        if config.node_weights is not None:
+            policy_kwargs["weights"] = config.node_weights
         self.policy: Policy = make_policy(
             config.policy,
             config.num_nodes,

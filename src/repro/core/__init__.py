@@ -13,11 +13,13 @@ from .base import (
     PolicyError,
     admission_limit,
 )
+from .chash import ConsistentHashBounded
 from .lard import LARD
 from .lardr import DEFAULT_K_SECONDS, LARDReplication
 from .lbgc import LocalityGlobalCache
 from .locality import HashLocality, stable_hash
-from .registry import POLICY_NAMES, make_policy, uses_gms
+from .pod import CacheAwarePowerOfD, PowerOfD
+from .registry import PAPER_POLICY_NAMES, POLICY_NAMES, make_policy, uses_gms
 from .wrr import WeightedRoundRobin
 
 __all__ = [
@@ -33,6 +35,10 @@ __all__ = [
     "LocalityGlobalCache",
     "LARD",
     "LARDReplication",
+    "ConsistentHashBounded",
+    "PowerOfD",
+    "CacheAwarePowerOfD",
+    "PAPER_POLICY_NAMES",
     "POLICY_NAMES",
     "make_policy",
     "uses_gms",

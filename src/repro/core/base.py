@@ -30,6 +30,10 @@ from typing import Dict, Hashable, List, Optional, Sequence
 
 __all__ = ["Policy", "PolicyError", "DEFAULT_T_LOW", "DEFAULT_T_HIGH", "admission_limit"]
 
+#: Weight vectors within this relative spread of uniform are treated as
+#: uniform, keeping the unweighted fast paths byte-identical.
+_UNIFORM_EPSILON = 1e-12
+
 #: Paper Section 2.4: "settings of T_low = 25 and T_high = 65 active
 #: connections give good performance across all workloads we tested".
 DEFAULT_T_LOW = 25
@@ -47,6 +51,32 @@ def admission_limit(num_nodes: int, t_low: int = DEFAULT_T_LOW, t_high: int = DE
     return (num_nodes - 1) * t_high + t_low - 1
 
 
+def _normalize_weights(
+    weights: Optional[Sequence[float]], num_nodes: int
+) -> Optional[List[float]]:
+    """Validate a capacity-weight vector; ``None`` for the uniform case.
+
+    An explicitly uniform vector (all entries equal) collapses to
+    ``None`` so the integer comparison fast paths — and with them the
+    golden byte-identity suites — are used whenever weights change
+    nothing.
+    """
+    if weights is None:
+        return None
+    values = [float(w) for w in weights]
+    if len(values) != num_nodes:
+        raise PolicyError(
+            f"weights must have one entry per node ({num_nodes}), got {len(values)}"
+        )
+    for node, value in enumerate(values):
+        if not value > 0.0:
+            raise PolicyError(f"node {node} weight must be positive, got {value!r}")
+    first = values[0]
+    if all(abs(value - first) <= _UNIFORM_EPSILON * first for value in values):
+        return None
+    return values
+
+
 class Policy(abc.ABC):
     """Base class for front-end request-distribution strategies.
 
@@ -59,16 +89,38 @@ class Policy(abc.ABC):
         LARD migration tests and the shared admission limit, so every
         strategy is compared under identical admission control (as in the
         paper's simulations).
+    weights:
+        Optional per-node capacity weights (heterogeneous back-ends,
+        cf. arXiv:1103.1207).  When set, the load-comparison helpers
+        (:meth:`least_loaded_node`, :meth:`has_node_below`) compare
+        *load per unit weight* instead of raw active-connection counts,
+        so a node with weight 2 absorbs twice the connections of a
+        weight-1 node before looking equally busy.  ``None`` (or an
+        all-equal vector) keeps the paper's homogeneous behaviour and
+        its exact integer fast paths.
     """
 
     #: Registry name, overridden by subclasses (e.g. ``"lard/r"``).
     name: str = "policy"
+
+    #: Whether the flattened fast path (:mod:`repro.cluster.fastpath`)
+    #: may drive this policy.  True for every strategy whose ``choose``
+    #: is a pure function of policy state mutated only through the
+    #: :class:`Policy` bookkeeping contract — including seeded-RNG
+    #: strategies, because both request paths call ``choose`` exactly
+    #: once per admitted request in the same order, so a deterministic
+    #: generator advances identically.  A future policy that consumes
+    #: entropy outside ``choose`` (or overrides ``on_dispatch`` /
+    #: ``on_complete``, which the fast path inlines) must set this
+    #: False to force the generator twins.
+    fastpath_safe: bool = True
 
     def __init__(
         self,
         num_nodes: int,
         t_low: int = DEFAULT_T_LOW,
         t_high: int = DEFAULT_T_HIGH,
+        weights: Optional[Sequence[float]] = None,
     ) -> None:
         if num_nodes < 1:
             raise PolicyError(f"need at least one node, got {num_nodes}")
@@ -77,6 +129,14 @@ class Policy(abc.ABC):
         self.num_nodes = num_nodes
         self.t_low = t_low
         self.t_high = t_high
+        self.weights: Optional[List[float]] = _normalize_weights(weights, num_nodes)
+        #: Reciprocal weights, so the per-request comparisons multiply
+        #: (one flop) instead of divide.  ``None`` means uniform.
+        self._inv_weights: Optional[List[float]] = (
+            None
+            if self.weights is None
+            else [1.0 / w for w in self.weights]
+        )
         self.loads: List[int] = [0] * num_nodes
         self._alive: List[bool] = [True] * num_nodes
         #: Bumped on every failure/join; lets strategies cache
@@ -166,8 +226,26 @@ class Policy(abc.ABC):
             raise PolicyError(f"node {node} is not alive")
 
     def least_loaded_node(self) -> int:
-        """Alive node with the fewest active connections (lowest id wins ties)."""
+        """Alive node with the fewest active connections (lowest id wins ties).
+
+        With heterogeneous ``weights`` the comparison is *load per unit
+        weight*, so a weight-2 node carrying 10 connections looks as busy
+        as a weight-1 node carrying 5.
+        """
         loads = self.loads
+        inv = self._inv_weights
+        if inv is not None:
+            best = -1
+            best_key = None
+            for node in range(self.num_nodes):
+                if not self._alive[node]:
+                    continue
+                key = loads[node] * inv[node]
+                if best_key is None or key < best_key:
+                    best, best_key = node, key
+            if best < 0:  # pragma: no cover - guarded by failure handling
+                raise PolicyError("no alive back-end nodes")
+            return best
         if not self._dead_count:
             # list.index(min(...)) runs both scans in C and returns the
             # first minimal element, so lowest id wins.
@@ -185,12 +263,22 @@ class Policy(abc.ABC):
         return best
 
     def has_node_below(self, threshold: int) -> bool:
-        """True if any alive node's load is strictly below ``threshold``."""
+        """True if any alive node's load is strictly below ``threshold``.
+
+        With heterogeneous ``weights`` the threshold scales with capacity:
+        node ``n`` counts as "below" when ``loads[n] < threshold * weights[n]``.
+        """
         # Plain loop: this runs on the per-request imbalance test, where
         # a generator expression's frame setup would dominate for the
         # cluster sizes the paper studies (4-32 nodes).
         loads = self.loads
         alive = self._alive
+        weights = self.weights
+        if weights is not None:
+            for node in range(len(alive)):
+                if alive[node] and loads[node] < threshold * weights[node]:
+                    return True
+            return False
         for node in range(len(alive)):
             if alive[node] and loads[node] < threshold:
                 return True

@@ -63,6 +63,9 @@ class LARD(Policy):
         self._server: "OrderedDict[Hashable, int]" = OrderedDict()
         self.assignments = 0
         self.reassignments = 0
+        #: Reassignments forced by the mapped node having died (a subset
+        #: of ``reassignments``), as opposed to load-imbalance migrations.
+        self.dead_rebinds = 0
         self.mapping_evictions = 0
 
     # -- decision logic (Figure 2) ---------------------------------------------
@@ -70,10 +73,19 @@ class LARD(Policy):
     def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
         """The Figure 2 decision: follow the mapping, migrating under imbalance."""
         node = self._server.get(target)
-        if node is None or not self._alive[node]:
+        if node is None:
             node = self.least_loaded_node()
             self._bind(target, node)
             self.assignments += 1
+            return node
+        if not self._alive[node]:
+            # The mapped node died: this is a *reassignment* (the target
+            # moves and its cache state is lost), not a first assignment,
+            # so failover experiments see true reassignment rates.
+            node = self.least_loaded_node()
+            self._bind(target, node)
+            self.reassignments += 1
+            self.dead_rebinds += 1
             return node
         if self.max_mappings is not None:
             # LRU touch.  Recency order is only ever consumed by the

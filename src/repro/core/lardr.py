@@ -119,8 +119,14 @@ class LARDReplication(Policy):
             # Dominant case: an unreplicated target needs no min/max scan.
             node = most = next(iter(nodes))
         else:
+            # Tie-breaks must diverge: the least-loaded pick prefers the
+            # lowest id and the most-loaded pick the *highest*, so under
+            # uniform load the shrink below discards a replica distinct
+            # from the one just selected to serve.  (A shared lowest-id
+            # tie-break made the K-seconds shrink discard the serving
+            # node and silently re-pick.)
             node = min(nodes, key=lambda n: (loads[n], n))
-            most = max(nodes, key=lambda n: (loads[n], -n))
+            most = max(nodes, key=lambda n: (loads[n], n))
         changed = False
         load = loads[node]
         t_high = self.t_high
@@ -138,6 +144,11 @@ class LARDReplication(Policy):
             self.shrinks += 1
             changed = True
             if node == most:
+                # Figure 3 dispatches *after* the shrink, so the request
+                # must go to a surviving replica.  Reachable only when the
+                # imbalance branch re-pointed ``node`` at the replica the
+                # shrink then removed (the min/max tie-breaks above are
+                # distinct for |set| > 1).
                 node = min(entry.nodes, key=lambda n: (loads[n], n))
         if changed:
             entry.last_mod = now

@@ -15,7 +15,7 @@ the failed node's targets move.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Hashable
+from typing import Callable, Dict, Hashable
 
 from .base import Policy
 
@@ -46,12 +46,24 @@ class HashLocality(Policy):
     ) -> None:
         super().__init__(num_nodes, **kwargs)
         self._hash_fn = hash_fn
+        # Memoized dead-primary fallback owners, valid for exactly one
+        # membership epoch.  Without it every request whose primary is
+        # down pays an O(n) rendezvous re-hash — ruinous at 1024 nodes.
+        self._fallback_cache: Dict[Hashable, int] = {}
+        self._fallback_epoch = -1
 
     def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
         """Static partition: hash the target name over the alive nodes."""
         node = self._hash_fn(target, 0) % self.num_nodes
         if self._alive[node]:
             return node
+        epoch = self.membership_epoch
+        if epoch != self._fallback_epoch:
+            self._fallback_cache.clear()
+            self._fallback_epoch = epoch
+        cached = self._fallback_cache.get(target)
+        if cached is not None:
+            return cached
         # Rendezvous hashing over the survivors: every alive node scores the
         # target and the max wins, so a failure only remaps the failed
         # node's partition.
@@ -65,4 +77,5 @@ class HashLocality(Policy):
                 best, best_score = candidate, score
         if best < 0:  # pragma: no cover - guarded by Policy failure handling
             raise RuntimeError("no alive back-end nodes")
+        self._fallback_cache[target] = best
         return best

@@ -13,6 +13,15 @@ The six strategies simulated in Section 4:
 
 ``wrr/gms`` reuses the WRR decision logic; the cooperative-cache behaviour
 lives in the cluster simulator (enable it via :func:`uses_gms`).
+
+The modern policy zoo extends the table beyond the paper's six:
+
+========  =====================================================
+``chash``    consistent hashing with bounded loads (arXiv:1608.01350)
+``pod``      power-of-d-choices, seeded RNG (Azar et al. / Mitzenmacher)
+``pod/lc``   cache-aware d-choices over r hashed replica locations
+             (arXiv:1610.05961, arXiv:1706.10209)
+========  =====================================================
 """
 
 from __future__ import annotations
@@ -20,16 +29,22 @@ from __future__ import annotations
 from typing import Dict, Hashable, Optional
 
 from .base import Policy, PolicyError
+from .chash import ConsistentHashBounded
 from .lard import LARD
 from .lardr import LARDReplication
 from .lbgc import LocalityGlobalCache
 from .locality import HashLocality
+from .pod import CacheAwarePowerOfD, PowerOfD
 from .wrr import WeightedRoundRobin
 
-__all__ = ["POLICY_NAMES", "make_policy", "uses_gms"]
+__all__ = ["POLICY_NAMES", "PAPER_POLICY_NAMES", "make_policy", "uses_gms"]
 
-#: Every strategy name accepted by :func:`make_policy`, in paper order.
-POLICY_NAMES = ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+#: The six strategies simulated in the paper's Section 4, in paper order.
+PAPER_POLICY_NAMES = ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+
+#: Every strategy name accepted by :func:`make_policy`: the paper's six
+#: followed by the modern zoo.
+POLICY_NAMES = PAPER_POLICY_NAMES + ("chash", "pod", "pod/lc")
 
 
 def uses_gms(name: str) -> bool:
@@ -61,4 +76,10 @@ def make_policy(
         return LARD(num_nodes, **kwargs)
     if key == "lard/r":
         return LARDReplication(num_nodes, **kwargs)
+    if key == "chash":
+        return ConsistentHashBounded(num_nodes, **kwargs)
+    if key == "pod":
+        return PowerOfD(num_nodes, **kwargs)
+    if key == "pod/lc":
+        return CacheAwarePowerOfD(num_nodes, **kwargs)
     raise PolicyError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")

@@ -33,10 +33,29 @@ class WeightedRoundRobin(Policy):
         self._pointer = 0
 
     def choose(self, target: Hashable, size: int, now: float = 0.0) -> int:
-        """Pick the least-loaded node, breaking ties round-robin."""
+        """Pick the least-loaded node, breaking ties round-robin.
+
+        With heterogeneous capacity ``weights`` the scan minimizes load
+        per unit weight, so bigger back-ends draw proportionally more of
+        the round-robin stream.
+        """
         best = -1
-        best_load = None
         n = self.num_nodes
+        inv = self._inv_weights
+        if inv is not None:
+            best_key = None
+            for offset in range(n):
+                node = (self._pointer + offset) % n
+                if not self._alive[node]:
+                    continue
+                key = self.loads[node] * inv[node]
+                if best_key is None or key < best_key:
+                    best, best_key = node, key
+            if best < 0:  # pragma: no cover - guarded by Policy failure handling
+                raise RuntimeError("no alive back-end nodes")
+            self._pointer = (best + 1) % n
+            return best
+        best_load = None
         for offset in range(n):
             node = (self._pointer + offset) % n
             if not self._alive[node]:

@@ -143,3 +143,41 @@ class TestFailure:
         policy.on_node_failure(node)
         policy._server["a"] = node  # force a stale entry back in
         assert policy.choose("a", 1) != node
+
+
+class TestDeadRebindAccounting:
+    """Regression: a mapping whose node died must be rebound as a
+    *reassignment* (the target moves, its cache state is lost), not
+    silently counted as a first assignment."""
+
+    def test_dead_node_rebind_counts_as_reassignment(self):
+        policy = _lard(2)
+        node = policy.choose("a", 1)
+        assert (policy.assignments, policy.reassignments) == (1, 0)
+        policy.on_node_failure(node)
+        policy._server["a"] = node  # stale entry (same shape as the defensive-path test)
+        new = policy.choose("a", 1)
+        assert new != node
+        assert policy.assignments == 1  # unchanged: not a first assignment
+        assert policy.reassignments == 1
+        assert policy.dead_rebinds == 1
+
+    def test_load_migration_is_not_a_dead_rebind(self):
+        policy = _lard(3, t_low=2, t_high=5)
+        node = policy.choose("a", 1)
+        for _ in range(6):
+            policy.on_dispatch(node)
+        moved = policy.choose("a", 1)
+        assert moved != node
+        assert policy.reassignments == 1
+        assert policy.dead_rebinds == 0
+
+    def test_purged_mapping_is_a_fresh_assignment(self):
+        # The normal failure path drops the mapping entirely; the next
+        # request is a first assignment, not a reassignment.
+        policy = _lard(2)
+        node = policy.choose("a", 1)
+        policy.on_node_failure(node)
+        policy.choose("a", 1)
+        assert policy.assignments == 2
+        assert policy.dead_rebinds == 0

@@ -144,3 +144,42 @@ def test_validation():
 
 def test_name():
     assert LARDReplication(2).name == "lard/r"
+
+
+class TestShrinkTieBreak:
+    """Regression: under uniform loads the most-loaded tie-break must pick a
+    replica distinct from the least-loaded one, so the K-seconds shrink
+    never discards the node just selected to serve (old code resolved both
+    scans to the same lowest-id node and silently re-picked)."""
+
+    def test_uniform_load_shrink_discards_distinct_replica(self):
+        policy = _lardr(3, t_low=2, t_high=5, k=10.0)
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1}
+        for node in range(3):
+            _load(policy, node, 1)  # uniform loads: every scan ties
+        node = policy.choose("a", 1, now=20.0)  # 20 s > K since last_mod
+        assert node == 0  # least loaded replica, lowest id wins ties
+        assert policy.server_set("a") == {0}  # the *other* replica was shed
+        assert policy.shrinks == 1
+
+    def test_most_loaded_tie_break_prefers_highest_id(self):
+        policy = _lardr(4, t_low=2, t_high=5, k=10.0)
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1, 2}
+        node = policy.choose("a", 1, now=20.0)  # all loads zero: full tie
+        assert node == 0
+        assert policy.server_set("a") == {0, 1}  # highest id (2) discarded
+
+    def test_dispatch_after_shrink_goes_to_survivor(self):
+        # Figure 3 dispatches after the shrink: when the imbalance branch
+        # re-points the request at the least-loaded node overall and the
+        # decayed shrink then removes it, the request must fall back to a
+        # surviving replica, never the removed one.
+        policy = _lardr(2, t_low=2, t_high=5, k=10.0)
+        policy.choose("a", 1, now=0.0)
+        policy._server_sets["a"].nodes = {0, 1}
+        _load(policy, 0, 6)  # replica 0 overloaded
+        _load(policy, 1, 12)  # replica 1 the most loaded
+        node = policy.choose("a", 1, now=20.0)
+        assert node in policy.server_set("a")

@@ -4,11 +4,15 @@ import pytest
 
 from repro.core import (
     LARD,
+    CacheAwarePowerOfD,
+    ConsistentHashBounded,
     HashLocality,
     LARDReplication,
     LocalityGlobalCache,
+    PAPER_POLICY_NAMES,
     POLICY_NAMES,
     PolicyError,
+    PowerOfD,
     WeightedRoundRobin,
     make_policy,
     uses_gms,
@@ -51,7 +55,11 @@ class TestLocalityGlobalCache:
 
 class TestRegistry:
     def test_paper_policy_names(self):
-        assert POLICY_NAMES == ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+        assert PAPER_POLICY_NAMES == ("wrr", "lb", "lb/gc", "lard", "lard/r", "wrr/gms")
+
+    def test_registry_extends_paper_names(self):
+        assert POLICY_NAMES[: len(PAPER_POLICY_NAMES)] == PAPER_POLICY_NAMES
+        assert POLICY_NAMES == PAPER_POLICY_NAMES + ("chash", "pod", "pod/lc")
 
     def test_factory_types(self):
         assert isinstance(make_policy("wrr", 2), WeightedRoundRobin)
@@ -59,6 +67,9 @@ class TestRegistry:
         assert isinstance(make_policy("lard", 2), LARD)
         assert isinstance(make_policy("lard/r", 2), LARDReplication)
         assert isinstance(make_policy("lb/gc", 2, node_cache_bytes=100), LocalityGlobalCache)
+        assert isinstance(make_policy("chash", 2), ConsistentHashBounded)
+        assert isinstance(make_policy("pod", 2), PowerOfD)
+        assert isinstance(make_policy("pod/lc", 2), CacheAwarePowerOfD)
 
     def test_wrr_gms_uses_wrr_decisions(self):
         assert isinstance(make_policy("wrr/gms", 2), WeightedRoundRobin)

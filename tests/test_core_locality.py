@@ -69,3 +69,54 @@ def test_failover_spreads_over_survivors():
 def test_custom_hash_function():
     policy = HashLocality(2, hash_fn=lambda target, salt: 0)
     assert policy.choose("anything", 1) == 0
+
+
+def test_dead_primary_fallback_memoized_and_identical():
+    """The memoized fallback must return exactly what a fresh rendezvous
+    scan returns, while re-hashing each (target, epoch) only once."""
+    calls = []
+
+    def counting_hash(value, salt=0):
+        calls.append((value, salt))
+        return stable_hash(value, salt)
+
+    memo = HashLocality(16, hash_fn=counting_hash)
+    fresh = HashLocality(16)
+    for node in (3, 7):
+        memo.on_node_failure(node)
+        fresh.on_node_failure(node)
+    targets = [f"t{i}" for i in range(100)]
+    first = [memo.choose(t, 1) for t in targets]
+    # Cross-check: a twin whose cache is wiped before every request (so it
+    # always runs the full rendezvous scan) makes identical decisions.
+    expected = []
+    for t in targets:
+        fresh._fallback_cache.clear()
+        expected.append(fresh.choose(t, 1))
+    assert first == expected
+    # Repeats hit the memo: no new hash calls for already-seen targets.
+    before = len(calls)
+    assert [memo.choose(t, 1) for t in targets] == first
+    # Alive primaries still hash once per request; fallbacks add nothing.
+    fallbacks = [t for t, n in zip(targets, first) if stable_hash(t, 0) % 16 in (3, 7)]
+    assert fallbacks, "test needs at least one dead-primary target"
+    assert len(calls) == before + len(targets)
+
+
+def test_fallback_cache_invalidated_on_membership_change():
+    policy = HashLocality(8)
+    policy.on_node_failure(2)
+    targets = [f"t{i}" for i in range(200)]
+    first = {t: policy.choose(t, 1) for t in targets}
+    policy.on_node_failure(5)
+    second = {t: policy.choose(t, 1) for t in targets}
+    moved = [t for t in targets if first[t] == 5]
+    assert moved, "test needs targets that fell back to node 5"
+    for t in targets:
+        assert second[t] != 5
+        if first[t] != 5:
+            # Rendezvous property: only the newly failed node's targets move.
+            assert second[t] == first[t]
+    policy.on_node_join(5)
+    third = {t: policy.choose(t, 1) for t in targets}
+    assert third == first

@@ -47,6 +47,25 @@ _CONFIGS = [
         node_cache_bytes=2**19,
         membership_events=((0.5, "fail", 1), (1.5, "join", 1)),
     ),
+    # Policy-zoo strategies: the seeded-RNG contract (entropy consumed
+    # only inside choose, once per admitted request) must keep the
+    # flattened fast path byte-identical to the generator twin.
+    dict(policy="chash", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="pod", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="pod/lc", num_nodes=4, node_cache_bytes=2**19),
+    dict(policy="pod/lc", num_nodes=4, node_cache_bytes=2**19, policy_seed=7),
+    dict(
+        policy="chash",
+        num_nodes=4,
+        node_cache_bytes=2**19,
+        node_weights=(1.0, 1.0, 2.0, 4.0),
+    ),
+    dict(
+        policy="pod",
+        num_nodes=3,
+        node_cache_bytes=2**19,
+        membership_events=((0.5, "fail", 1), (1.5, "join", 1)),
+    ),
 ]
 
 

@@ -1,0 +1,111 @@
+"""Property-based tests over *every* registered policy.
+
+Hypothesis drives each strategy in ``POLICY_NAMES`` through arbitrary
+operation schedules — request, completion, node failure, node join —
+interpreted modulo the current valid state (e.g. a "fail" op targets
+some currently-alive node, never the last one).  Three invariants must
+hold for every policy and every schedule:
+
+1. **Alive-only choices** — ``choose`` never returns a dead node.
+2. **Load conservation** — ``policy.loads`` always equals an
+   independent model of outstanding connections (incremented per
+   dispatch, decremented per completion, dropped wholesale when the
+   node fails or rejoins).
+3. **Rerun determinism** — replaying the identical schedule on a fresh
+   instance reproduces the identical choice sequence (randomized
+   policies are seeded).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import POLICY_NAMES, make_policy
+
+NUM_NODES = 5
+
+#: Per-policy constructor kwargs (beyond num_nodes).
+_KWARGS = {
+    "lb/gc": {"node_cache_bytes": 2**18},
+    "pod": {"seed": 0},
+    "pod/lc": {"seed": 0},
+}
+
+
+def _make(name):
+    return make_policy(name, NUM_NODES, **_KWARGS.get(name, {}))
+
+
+# An abstract schedule is a list of (op_code, value) pairs; op weights
+# favor requests so loads actually build up.  The concrete meaning of
+# each op is resolved against the live policy state during replay.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["req"] * 6 + ["done"] * 3 + ["fail", "join"]),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _replay(name, schedule, check_loads=True):
+    """Run a schedule against a fresh policy; return the choice trace."""
+    policy = _make(name)
+    outstanding = [0] * NUM_NODES  # the independent load model
+    alive = [True] * NUM_NODES
+    choices = []
+    now = 0.0
+    for op, value in schedule:
+        now += 1.0
+        if op == "req":
+            target = f"t{value % 40}"
+            node = policy.choose(target, 1, now=now)
+            choices.append(node)
+            assert alive[node], f"{name} chose dead node {node}"
+            policy.on_dispatch(node, target, 1)
+            outstanding[node] += 1
+        elif op == "done":
+            busy = [n for n in range(NUM_NODES) if outstanding[n] > 0]
+            if not busy:
+                continue
+            node = busy[value % len(busy)]
+            policy.on_complete(node)
+            outstanding[node] -= 1
+        elif op == "fail":
+            up = [n for n in range(NUM_NODES) if alive[n]]
+            if len(up) <= 1:
+                continue  # never fail the last node
+            node = up[value % len(up)]
+            policy.on_node_failure(node)
+            alive[node] = False
+            outstanding[node] = 0  # connections orphaned with the node
+        else:  # join
+            down = [n for n in range(NUM_NODES) if not alive[n]]
+            if not down:
+                continue
+            node = down[value % len(down)]
+            policy.on_node_join(node)
+            alive[node] = True
+            outstanding[node] = 0
+        if check_loads:
+            assert policy.loads == outstanding, (
+                f"{name} loads {policy.loads} != model {outstanding} after {op}"
+            )
+    return choices
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@settings(max_examples=25, deadline=None)
+@given(schedule=_ops)
+def test_invariants_hold_for_any_schedule(name, schedule):
+    _replay(name, schedule)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+@settings(max_examples=10, deadline=None)
+@given(schedule=_ops)
+def test_rerun_determinism(name, schedule):
+    first = _replay(name, schedule, check_loads=False)
+    second = _replay(name, schedule, check_loads=False)
+    assert first == second

@@ -33,6 +33,16 @@ from .scaleout import (
     run_scaleout_sweep,
     write_scaleout_csv,
 )
+from .matrix import (
+    BUILTIN_MATRICES,
+    MATRIX_COLUMNS,
+    MatrixSpec,
+    Scenario,
+    builtin_matrix,
+    matrix_from_dict,
+    run_matrix,
+    write_matrix_csv,
+)
 from .parallel import ParallelExecutionError, default_jobs, run_many
 from .report import ExperimentResult, format_table
 from .sweep import expand_parameters, result_row, sweep, write_csv
@@ -71,4 +81,12 @@ __all__ = [
     "DEFAULT_SCALEOUT_POLICIES",
     "DEFAULT_SCALEOUT_SIZES",
     "SCALEOUT_COLUMNS",
+    "Scenario",
+    "MatrixSpec",
+    "MATRIX_COLUMNS",
+    "BUILTIN_MATRICES",
+    "matrix_from_dict",
+    "builtin_matrix",
+    "run_matrix",
+    "write_matrix_csv",
 ]

@@ -72,6 +72,8 @@ def _spill_trace(trace: Trace, directory: Union[str, Path]) -> None:
     base = Path(directory)
     np.save(base / "targets.npy", trace.targets)
     np.save(base / "sizes_by_target.npy", trace.sizes_by_target)
+    if trace.cpu_cost_s_by_target is not None:
+        np.save(base / "cpu_cost_s_by_target.npy", trace.cpu_cost_s_by_target)
     (base / "name.txt").write_text(trace.name, encoding="utf-8")
 
 
@@ -79,8 +81,10 @@ def _load_spilled_trace(directory: str) -> Trace:
     base = Path(directory)
     targets = np.load(base / "targets.npy", mmap_mode="r")
     sizes = np.load(base / "sizes_by_target.npy", mmap_mode="r")
+    costs_path = base / "cpu_cost_s_by_target.npy"
+    cpu_costs = np.load(costs_path, mmap_mode="r") if costs_path.exists() else None
     name = (base / "name.txt").read_text(encoding="utf-8")
-    return Trace(targets, sizes, name=name)
+    return Trace(targets, sizes, name=name, cpu_cost_s_by_target=cpu_costs)
 
 
 def _init_worker_from_spill(directory: str) -> None:

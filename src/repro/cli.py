@@ -13,6 +13,7 @@ Usage::
     lard-repro spans out.jsonl
     lard-repro chaos [--policies lard,wrr] [--seed N] [--csv out.csv]
     lard-repro scaleout [--sizes 64,256,1024] [--policies chash,pod,...] [--csv out.csv]
+    lard-repro matrix [--name dynamic] [--spec matrix.json] [--csv out.csv]
     lard-repro lint [paths...] [--list-rules]
 
 (`python -m repro` is equivalent.)
@@ -193,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
         "the scorecard is identical to --jobs 1)",
     )
     scaleout.add_argument(
+        "--csv", metavar="OUT.csv", help="also write the scorecard to this CSV file"
+    )
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run a declarative workload matrix (dynamic scenarios x policies)",
+    )
+    matrix.add_argument(
+        "--name",
+        default="dynamic",
+        metavar="MATRIX",
+        help="built-in matrix to run (see repro.analysis.matrix."
+        "BUILTIN_MATRICES; default: dynamic)",
+    )
+    matrix.add_argument(
+        "--spec",
+        metavar="SPEC.json",
+        help="JSON matrix spec file (overrides --name)",
+    )
+    matrix.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run cells in up to N worker processes (0 = one per CPU; "
+        "the scorecard is identical to --jobs 1)",
+    )
+    matrix.add_argument(
         "--csv", metavar="OUT.csv", help="also write the scorecard to this CSV file"
     )
 
@@ -442,6 +471,58 @@ def _cmd_scaleout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .analysis.matrix import (
+        MATRIX_COLUMNS,
+        builtin_matrix,
+        matrix_from_dict,
+        run_matrix,
+        write_matrix_csv,
+    )
+    from .analysis.report import format_table
+
+    if args.spec is not None:
+        import json
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = matrix_from_dict(json.load(handle))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{args.spec}: not valid JSON: {exc}") from exc
+    else:
+        spec = builtin_matrix(args.name)
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    rows = run_matrix(spec, jobs=jobs)
+    print(
+        f"workload matrix: {spec.name} "
+        f"({len(spec.scenarios)} scenarios x {len(spec.policies)} policies, "
+        f"{spec.num_nodes} nodes)"
+    )
+    display = [
+        [
+            row["scenario"],
+            row["policy"],
+            row["num_nodes"],
+            row["requests_measured"],
+            round(row["throughput_rps"], 1),
+            round(row["cache_miss_ratio"], 4),
+            round(row["dynamic_fraction"], 4),
+            round(row["mean_delay_ms"], 1),
+            row["disk_reads"],
+        ]
+        for row in rows
+    ]
+    print(format_table(MATRIX_COLUMNS, display))
+    if args.csv:
+        path = write_matrix_csv(rows, args.csv)
+        print(f"scorecard written to {path}")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -463,6 +544,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "scaleout":
         return _cmd_scaleout(args)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
     if args.command == "lint":
         from .lint import main as lint_main
 

@@ -114,6 +114,7 @@ class FastPath:
         "single_disk_time",
         "chunk_bytes",
         "costs",
+        "dynamic",
         "plans",
         "targets_l",
         "sizes_l",
@@ -154,6 +155,10 @@ class FastPath:
         )
         self.single_disk_time: List[float] = disk_time.tolist()
         self.chunk_bytes: int = costs.disk_chunk_bytes
+        # Per-target dynamic (CGI) CPU cost table.  The eligibility gate
+        # guarantees every node holds this same object, so one capture
+        # mirrors the generator's per-node lookup.
+        self.dynamic: Optional[List[float]] = fe.nodes[0].dynamic_cost_of_target
         self.plans: Dict[int, Tuple[Tuple[float, int], ...]] = {}
         # Admission-side references, resolved once.
         self.targets_l, self.sizes_l = fe._target_list, fe._size_list
@@ -365,6 +370,20 @@ class FastConnection:
             cpu._busy += 1
             self.schedule(wdur, wcb)
         target = self.target
+        dyn = self.fp.dynamic
+        if dyn is not None and dyn[target] > 0.0:
+            # Twin of serve()'s dynamic (CGI) branch: uncacheable
+            # CPU-bound compute + transmit as one combined service,
+            # neither a hit nor a miss.
+            node.dynamic_requests += 1
+            self.plan = _EMPTY_PLAN
+            self.plan_i = 0
+            self._enqueue_data(
+                node.cpu,
+                node.costs.dynamic_service_time(dyn[target])
+                + self.units[target] * node._transmit_per_unit,
+            )
+            return
         hint = self.hit_hint
         if hint is not None:
             # LB/GC: the front-end's idealized cache model dictated the

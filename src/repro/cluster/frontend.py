@@ -144,6 +144,13 @@ class FrontEnd:
             requests_per_connection == 1
             and len(nodes) > 0
             and all(n.costs is nodes[0].costs for n in nodes)
+            # Provable equivalence for dynamic (CGI) catalogs: the fast
+            # path captures one dynamic-cost table, so every node must
+            # hold the *same* table object (None included).
+            and all(
+                n.dynamic_cost_of_target is nodes[0].dynamic_cost_of_target
+                for n in nodes
+            )
             # Policies opt out of the flattened path by setting
             # Policy.fastpath_safe = False (e.g. a future strategy that
             # consumes entropy outside choose or overrides the inlined

@@ -194,6 +194,9 @@ class SimulationResult:
     bytes_served: int
     gms_local_hits: int = 0
     gms_remote_hits: int = 0
+    #: Requests for dynamic (CGI) targets: CPU-bound, uncacheable, so
+    #: they count in neither cache_hits nor cache_misses.
+    dynamic_requests: int = 0
     per_node_mean_delay_s: List[float] = field(default_factory=list)
     #: Completions per time bucket (only when timeline_interval_s was set).
     timeline: Dict[int, int] = field(default_factory=dict)

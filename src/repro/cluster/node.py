@@ -77,6 +77,10 @@ class BackendNode:
         self.peers: Sequence["BackendNode"] = ()
         #: Set by the cluster: target -> disk index (frequency striping).
         self.disk_of_target: Optional[Sequence[int]] = None
+        #: Set by the cluster: target -> CPU (CGI) cost in seconds, or
+        #: ``None`` for an all-static catalog.  Shared by identity across
+        #: all nodes of one cluster (the fast-path gate checks ``is``).
+        self.dynamic_cost_of_target: Optional[Sequence[float]] = None
         self._pending: Dict[Hashable, SimEvent] = {}
         # Counters (paper metrics).
         self.cache_hits = 0
@@ -87,6 +91,7 @@ class BackendNode:
         self.bytes_served = 0
         self.gms_local_hits = 0
         self.gms_remote_hits = 0
+        self.dynamic_requests = 0
 
     def set_costs(self, costs: CostModel) -> None:
         """Swap the node's cost model mid-run (brownout fault injection).
@@ -133,7 +138,19 @@ class BackendNode:
         """
         if establish:
             yield Service(self.cpu, self._conn_time)
-        if hit_hint is not None:
+        dyn = self.dynamic_cost_of_target
+        if dyn is not None and isinstance(target, int) and dyn[target] > 0.0:
+            # Dynamic (CGI) request: CPU-bound compute, uncacheable, so it
+            # bypasses the cache entirely and is neither a hit nor a miss.
+            # One combined CPU service: compute + transmit of the
+            # generated bytes (same arithmetic as the fast path).
+            self.dynamic_requests += 1
+            yield Service(
+                self.cpu,
+                self.costs.dynamic_service_time(dyn[target])
+                + ((size + 511) // 512) * self._transmit_per_unit,
+            )
+        elif hit_hint is not None:
             yield from self._fetch_hinted(target, size, hit_hint)
         elif self.gms is not None:
             yield from self._fetch_gms(target, size)
@@ -258,7 +275,18 @@ class BackendNode:
             t0 = engine.now
             yield Service(self.cpu, self._conn_time)
             phases["establish"] = phases.get("establish", 0.0) + (engine.now - t0)
-        if hit_hint is not None:
+        dyn = self.dynamic_cost_of_target
+        if dyn is not None and isinstance(target, int) and dyn[target] > 0.0:
+            self.dynamic_requests += 1
+            t0 = engine.now
+            yield Service(
+                self.cpu,
+                self.costs.dynamic_service_time(dyn[target])
+                + ((size + 511) // 512) * self._transmit_per_unit,
+            )
+            phases["cpu"] = phases.get("cpu", 0.0) + (engine.now - t0)
+            outcome = "dynamic"
+        elif hit_hint is not None:
             outcome = yield from self._fetch_hinted_traced(target, size, hit_hint, phases)
         elif self.gms is not None:
             outcome = yield from self._fetch_gms_traced(target, size, phases)

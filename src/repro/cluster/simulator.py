@@ -290,8 +290,13 @@ class ClusterSimulator:
             )
             node.disk_of_target = disk_of
             self.nodes.append(node)
+        # One shared dynamic-cost table (or None) across all nodes, set
+        # before the front-end is built: the fast path captures it at
+        # construction and its eligibility gate checks table identity.
+        dynamic_costs = trace.dynamic_cost_list()
         for node in self.nodes:
             node.peers = self.nodes
+            node.dynamic_cost_of_target = dynamic_costs
         self.tracker = LoadTracker(
             config.num_nodes, threshold=UNDERUTILIZATION_FRACTION * config.t_low
         )
@@ -366,6 +371,7 @@ class ClusterSimulator:
             bytes_served=sum(n.bytes_served for n in nodes),
             gms_local_hits=sum(n.gms_local_hits for n in nodes),
             gms_remote_hits=sum(n.gms_remote_hits for n in nodes),
+            dynamic_requests=sum(n.dynamic_requests for n in nodes),
             per_node_mean_delay_s=[
                 d / c if c else 0.0
                 for d, c in zip(

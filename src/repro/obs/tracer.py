@@ -141,6 +141,9 @@ class SimTracer:
     def _emit_sample(self, now: float) -> None:
         hits = sum(int(node.cache_hits) for node in self._nodes)
         misses = sum(int(node.cache_misses) for node in self._nodes)
+        dynamic = sum(int(node.dynamic_requests) for node in self._nodes)
+        # Miss ratio stays defined over cacheable requests only; dynamic
+        # (CGI) requests bypass the caches and are reported separately.
         requests = hits + misses
         window_requests = requests - self._last_requests
         window_misses = misses - self._last_misses
@@ -154,6 +157,7 @@ class SimTracer:
             "in_flight": int(frontend.in_flight) if frontend is not None else 0,
             "cache_hits": hits,
             "cache_misses": misses,
+            "dynamic_requests": dynamic,
             "miss_ratio": (misses / requests) if requests else 0.0,
             "window_miss_ratio": (
                 (window_misses / window_requests) if window_requests else 0.0

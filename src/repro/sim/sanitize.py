@@ -28,6 +28,12 @@ Checked every ``deep_interval`` events and at end of run (O(cluster)):
   while servers sat free beyond transient dispatch;
 * every cache satisfies ``used_bytes <= capacity_bytes`` with
   ``used_bytes`` equal to the sum of its tracked entry sizes;
+* per-node outcome conservation: every served request was a cache hit,
+  a cache miss, or a dynamic (CGI) request, so ``cache_hits +
+  cache_misses + dynamic_requests >= requests_served`` with every
+  counter non-negative (strict equality cannot be asserted mid-request:
+  the outcome counters tick at the fetch decision, ``requests_served``
+  only after teardown);
 * policy load accounting is non-negative, and every node named by a
   LARD mapping or LARD/R server set is in the live membership — the
   paper's failure rule ("as if they had not been assigned before") says
@@ -104,6 +110,7 @@ class InvariantSanitizer:
         self._policy: Optional[Any] = None
         self._resources: List[Any] = []
         self._caches: List[Any] = []
+        self._nodes: List[Any] = []
 
     # -- registration ----------------------------------------------------------
 
@@ -125,7 +132,9 @@ class InvariantSanitizer:
             self._caches.append(cache)
 
     def watch_node(self, node: Any) -> None:
-        """Track a simulated back-end node: its CPU, disks, and cache."""
+        """Track a simulated back-end node: its CPU, disks, cache, and
+        request-outcome counters."""
+        self._nodes.append(node)
         self.watch_resource(node.cpu)
         for disk in getattr(node, "disks", ()):
             self.watch_resource(disk)
@@ -267,7 +276,34 @@ class InvariantSanitizer:
                     f"cache {cache.name or cache!r} used_bytes {cache.used_bytes} "
                     f"disagrees with the sum of its entries ({tracked})",
                 )
+        self._check_nodes(when, callback)
         self._check_policy(when, callback)
+
+    def _check_nodes(self, when: float, callback: Optional[Callable[..., Any]]) -> None:
+        for node in self._nodes:
+            hits = node.cache_hits
+            misses = node.cache_misses
+            dynamic = node.dynamic_requests
+            served = node.requests_served
+            if hits < 0 or misses < 0 or dynamic < 0 or served < 0:
+                self._fail(
+                    when,
+                    callback,
+                    f"node {node.node_id} outcome counters went negative "
+                    f"(hits {hits}, misses {misses}, dynamic {dynamic}, "
+                    f"served {served})",
+                )
+            # Outcome counters tick at the fetch decision, served only
+            # after teardown, so mid-request the outcomes run ahead —
+            # never behind.
+            if hits + misses + dynamic < served:
+                self._fail(
+                    when,
+                    callback,
+                    f"node {node.node_id} outcome conservation broken: hits "
+                    f"{hits} + misses {misses} + dynamic {dynamic} < served "
+                    f"{served} (a request completed without an outcome)",
+                )
 
     def _check_policy(self, when: float, callback: Optional[Callable[..., Any]]) -> None:
         policy = self._policy

@@ -4,9 +4,19 @@ The simulator consumes :class:`Trace` objects.  Synthetic stand-ins for the
 paper's proprietary traces are built by :func:`rice_like_trace`,
 :func:`ibm_like_trace` and :func:`chess_like_trace`; real logs can be
 ingested with :func:`parse_common_log`; Section 4.2's hot-target workloads
-come from :func:`inject_hot_targets`.
+come from :func:`inject_hot_targets`; the phase-structured dynamic
+workloads (flash crowds, diurnal envelopes, popularity drift, CGI mixes,
+multi-tenant interleaves) live in :mod:`repro.workload.dynamic`.
 """
 
+from .dynamic import (
+    cgi_mix_trace,
+    diurnal_trace,
+    drift_trace,
+    flash_crowd_trace,
+    mark_dynamic_targets,
+    multi_tenant_trace,
+)
 from .hot import inject_hot_targets
 from .io import load_trace, save_trace
 from .memo import cached_trace, clear_trace_cache, trace_cache_dir, trace_cache_key
@@ -36,6 +46,12 @@ __all__ = [
     "rice_like_trace",
     "ibm_like_trace",
     "chess_like_trace",
+    "flash_crowd_trace",
+    "diurnal_trace",
+    "drift_trace",
+    "cgi_mix_trace",
+    "mark_dynamic_targets",
+    "multi_tenant_trace",
     "inject_hot_targets",
     "save_trace",
     "load_trace",

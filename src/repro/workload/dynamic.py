@@ -1,0 +1,457 @@
+"""Phase-structured dynamic workload generators.
+
+The static generators in :mod:`repro.workload.synthetic` draw every
+request from one fixed popularity law (the independent reference model);
+the paper's own discussion — and the ROADMAP's "scenario diversity" item
+— calls for the regimes where that stationarity breaks:
+
+* **flash crowd** (:func:`flash_crowd_trace`) — a sudden concentration of
+  requests onto a tiny hot set partway through the stream, then decay;
+* **diurnal load** (:func:`diurnal_trace`) — a day/night envelope.  The
+  simulator is *closed-loop* (the trace is a token stream, not an arrival
+  process), so the envelope is expressed in stream composition: each
+  phase of each cycle contributes a raised-cosine share of the requests
+  and blends between a peaked (daytime) and a flat (nighttime)
+  popularity law;
+* **popularity drift** (:func:`drift_trace`) — the Zipf alpha sweeps
+  across the trace while a seeded rank permutation churns per phase, so
+  the *identity* of the hot documents rotates and locality policies must
+  re-learn their mappings;
+* **CGI/dynamic mixes** (:func:`cgi_mix_trace`,
+  :func:`mark_dynamic_targets`) — a fraction of targets is CPU-bound
+  with a size-independent service cost (paper Section 2's dynamic
+  content), carried on :attr:`~repro.workload.trace.Trace.
+  cpu_cost_s_by_target` and plumbed through the cluster cost model;
+* **multi-tenant mixes** (:func:`multi_tenant_trace`) — K independent
+  catalogs interleaved with per-tenant weights.
+
+Determinism contract: every generator is a pure function of its
+parameters — all randomness flows from ``np.random.default_rng(seed)``
+— so equal parameters give byte-identical traces, the generators are
+memoizable via :func:`repro.workload.memo.cached_trace`, and sweeps over
+them are byte-identical across ``--jobs`` fan-out.  See
+``docs/workloads.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .synthetic import _assign_sizes_by_popularity, _lognormal_sizes, zipf_weights
+from .trace import Trace, TraceError
+
+__all__ = [
+    "flash_crowd_trace",
+    "diurnal_trace",
+    "drift_trace",
+    "cgi_mix_trace",
+    "mark_dynamic_targets",
+    "multi_tenant_trace",
+]
+
+
+def _catalog(
+    rng: np.random.Generator,
+    num_targets: int,
+    total_bytes: int,
+    size_sigma: float,
+    size_popularity_correlation: float,
+    min_file_bytes: int,
+    max_file_bytes: int,
+) -> np.ndarray:
+    """One size table, shared by every generator below."""
+    sizes = _lognormal_sizes(
+        rng, num_targets, total_bytes, size_sigma, min_file_bytes, max_file_bytes
+    )
+    return _assign_sizes_by_popularity(rng, sizes, size_popularity_correlation)
+
+
+def _scaled(num_targets: int, total_bytes: int, scale: float) -> Tuple[int, int]:
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(1, int(num_targets * scale)), max(1, int(total_bytes * scale))
+
+
+def flash_crowd_trace(
+    num_requests: int = 200_000,
+    num_targets: int = 20_000,
+    total_bytes: int = 600 * 2**20,
+    zipf_alpha: float = 0.90,
+    hot_targets: int = 8,
+    peak_fraction: float = 0.60,
+    onset_fraction: float = 0.30,
+    peak_length_fraction: float = 0.20,
+    decay_length_fraction: float = 0.30,
+    size_sigma: float = 1.6,
+    size_popularity_correlation: float = -0.5,
+    min_file_bytes: int = 128,
+    max_file_bytes: int = 64 * 2**20,
+    seed: int = 101,
+    scale: float = 1.0,
+    name: str = "flash-crowd",
+) -> Trace:
+    """Sudden hot-set concentration, then decay.
+
+    The stream is baseline Zipf(``zipf_alpha``) IRM until position
+    ``onset_fraction * n``; there, the probability that a request is
+    redirected onto a ``hot_targets``-document *crowd set* jumps to
+    ``peak_fraction``, holds for ``peak_length_fraction`` of the stream,
+    then decays linearly to zero over ``decay_length_fraction``.  The
+    crowd set is a seeded popularity-weighted sample, so it overlaps the
+    warm working set only partially — the event both concentrates load
+    and rotates the hot documents, the combination that separates
+    locality-aware policies from oblivious ones.
+    """
+    if num_requests < 0:
+        raise ValueError(f"negative request count: {num_requests}")
+    if not 0.0 <= peak_fraction <= 1.0:
+        raise ValueError(f"peak_fraction must be in [0, 1], got {peak_fraction}")
+    for label, value in (
+        ("onset_fraction", onset_fraction),
+        ("peak_length_fraction", peak_length_fraction),
+        ("decay_length_fraction", decay_length_fraction),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{label} must be in [0, 1], got {value}")
+    if hot_targets < 1:
+        raise ValueError(f"hot_targets must be >= 1, got {hot_targets}")
+    num_targets, total_bytes = _scaled(num_targets, total_bytes, scale)
+    rng = np.random.default_rng(seed)
+    popularity = zipf_weights(num_targets, zipf_alpha)
+    sizes = _catalog(
+        rng,
+        num_targets,
+        total_bytes,
+        size_sigma,
+        size_popularity_correlation,
+        min_file_bytes,
+        max_file_bytes,
+    )
+    tokens = rng.choice(num_targets, size=num_requests, p=popularity)
+    if num_requests > 0 and peak_fraction > 0.0:
+        crowd = rng.choice(
+            num_targets,
+            size=min(hot_targets, num_targets),
+            replace=False,
+            p=popularity,
+        )
+        onset = int(onset_fraction * num_requests)
+        peak_end = min(num_requests, onset + int(peak_length_fraction * num_requests))
+        decay_len = int(decay_length_fraction * num_requests)
+        decay_end = min(num_requests, peak_end + decay_len)
+        # Per-position redirect probability: 0 before onset, peak during
+        # the plateau, linear decay back to 0 afterwards.
+        p_redirect = np.zeros(num_requests, dtype=np.float64)
+        p_redirect[onset:peak_end] = peak_fraction
+        if decay_len > 0 and decay_end > peak_end:
+            ramp = np.linspace(peak_fraction, 0.0, decay_len + 1)[1:]
+            p_redirect[peak_end:decay_end] = ramp[: decay_end - peak_end]
+        mask = rng.random(num_requests) < p_redirect
+        hits = int(mask.sum())
+        if hits:
+            tokens[mask] = rng.choice(crowd, size=hits)
+    return Trace(tokens, sizes, name=name)
+
+
+def diurnal_trace(
+    num_requests: int = 200_000,
+    num_targets: int = 20_000,
+    total_bytes: int = 600 * 2**20,
+    zipf_alpha_peak: float = 1.10,
+    zipf_alpha_trough: float = 0.75,
+    cycles: int = 3,
+    phases_per_cycle: int = 8,
+    peak_to_trough: float = 4.0,
+    size_sigma: float = 1.6,
+    size_popularity_correlation: float = -0.5,
+    min_file_bytes: int = 128,
+    max_file_bytes: int = 64 * 2**20,
+    seed: int = 105,
+    scale: float = 1.0,
+    name: str = "diurnal",
+) -> Trace:
+    """Day/night load envelope expressed in stream composition.
+
+    The simulator is closed-loop — a trace has no arrival timestamps —
+    so a diurnal *rate* envelope maps onto the share of the request
+    stream each phase contributes: phase ``k`` of every cycle carries a
+    raised-cosine weight between 1 (trough) and ``peak_to_trough``
+    (peak).  Popularity concentration rides the same envelope: peak
+    phases draw from Zipf(``zipf_alpha_peak``) (daytime traffic is
+    browse-heavy and concentrated), trough phases from the flatter
+    Zipf(``zipf_alpha_trough``) (nighttime crawlers sweep the long
+    tail), with linear blending in between.
+    """
+    if num_requests < 0:
+        raise ValueError(f"negative request count: {num_requests}")
+    if cycles < 1 or phases_per_cycle < 2:
+        raise ValueError("need cycles >= 1 and phases_per_cycle >= 2")
+    if peak_to_trough < 1.0:
+        raise ValueError(f"peak_to_trough must be >= 1, got {peak_to_trough}")
+    num_targets, total_bytes = _scaled(num_targets, total_bytes, scale)
+    rng = np.random.default_rng(seed)
+    sizes = _catalog(
+        rng,
+        num_targets,
+        total_bytes,
+        size_sigma,
+        size_popularity_correlation,
+        min_file_bytes,
+        max_file_bytes,
+    )
+    phases = cycles * phases_per_cycle
+    k = np.arange(phases, dtype=np.float64)
+    # Raised cosine in [0, 1] per phase position within its cycle.
+    envelope01 = 0.5 * (1.0 - np.cos(2.0 * np.pi * k / phases_per_cycle))
+    weights = 1.0 + (peak_to_trough - 1.0) * envelope01
+    counts = np.floor(weights * (num_requests / weights.sum())).astype(np.int64)
+    # Distribute the rounding remainder deterministically to the largest
+    # phases so counts sum exactly to num_requests.
+    remainder = num_requests - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-weights, kind="stable")
+        counts[order[:remainder]] += 1
+    pieces = []
+    for phase in range(phases):
+        count = int(counts[phase])
+        if count == 0:
+            continue
+        alpha = zipf_alpha_trough + (
+            zipf_alpha_peak - zipf_alpha_trough
+        ) * float(envelope01[phase])
+        popularity = zipf_weights(num_targets, alpha)
+        pieces.append(rng.choice(num_targets, size=count, p=popularity))
+    tokens = (
+        np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    )
+    return Trace(tokens, sizes, name=name)
+
+
+def drift_trace(
+    num_requests: int = 200_000,
+    num_targets: int = 20_000,
+    total_bytes: int = 600 * 2**20,
+    alpha_start: float = 0.90,
+    alpha_end: float = 1.30,
+    phases: int = 8,
+    churn_fraction: float = 0.25,
+    size_sigma: float = 1.6,
+    size_popularity_correlation: float = -0.5,
+    min_file_bytes: int = 128,
+    max_file_bytes: int = 64 * 2**20,
+    seed: int = 103,
+    scale: float = 1.0,
+    name: str = "drift",
+) -> Trace:
+    """Popularity drift: Zipf alpha sweeps while rank identity churns.
+
+    The trace is cut into ``phases`` equal segments.  Segment ``p`` draws
+    from Zipf(alpha) with alpha linearly interpolated from
+    ``alpha_start`` to ``alpha_end``, through a rank permutation that is
+    re-churned at every phase boundary: a seeded ``churn_fraction`` of
+    the popularity ranks swap places with uniformly-chosen partners
+    (cumulatively), so the documents occupying the hot ranks rotate and
+    a locality policy's learned target->node mappings go stale
+    mid-trace.  ``churn_fraction=0`` with ``alpha_start == alpha_end``
+    degenerates to the static IRM generator.
+    """
+    if num_requests < 0:
+        raise ValueError(f"negative request count: {num_requests}")
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1, got {phases}")
+    if not 0.0 <= churn_fraction <= 1.0:
+        raise ValueError(f"churn_fraction must be in [0, 1], got {churn_fraction}")
+    num_targets, total_bytes = _scaled(num_targets, total_bytes, scale)
+    rng = np.random.default_rng(seed)
+    sizes = _catalog(
+        rng,
+        num_targets,
+        total_bytes,
+        size_sigma,
+        size_popularity_correlation,
+        min_file_bytes,
+        max_file_bytes,
+    )
+    perm = np.arange(num_targets, dtype=np.int64)
+    churn_count = int(churn_fraction * num_targets)
+    bounds = np.linspace(0, num_requests, phases + 1).astype(np.int64)
+    pieces = []
+    for phase in range(phases):
+        if phase > 0 and churn_count > 0:
+            # Swap churn_count ranks with uniformly-chosen partners.
+            a = rng.choice(num_targets, size=churn_count, replace=False)
+            b = rng.choice(num_targets, size=churn_count, replace=False)
+            perm[a], perm[b] = perm[b].copy(), perm[a].copy()
+        count = int(bounds[phase + 1] - bounds[phase])
+        if count == 0:
+            continue
+        frac = phase / (phases - 1) if phases > 1 else 0.0
+        alpha = alpha_start + (alpha_end - alpha_start) * frac
+        popularity = zipf_weights(num_targets, alpha)
+        ranks = rng.choice(num_targets, size=count, p=popularity)
+        pieces.append(perm[ranks])
+    tokens = (
+        np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    )
+    return Trace(tokens, sizes, name=name)
+
+
+def mark_dynamic_targets(
+    trace: Trace,
+    dynamic_fraction: float,
+    cpu_cost_s: float,
+    cost_spread: float = 0.5,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Trace:
+    """Derive a trace marking a fraction of the catalog CPU-bound (CGI).
+
+    A seeded uniform sample of ``dynamic_fraction`` of the targets gets a
+    per-target CPU cost drawn uniformly from ``cpu_cost_s * (1 ±
+    cost_spread)``; all other targets stay static.  The request stream
+    and size table are shared with the source trace, so any generator's
+    output (flash crowd, drift, ...) composes with a CGI mix.
+    """
+    if not 0.0 <= dynamic_fraction <= 1.0:
+        raise TraceError(
+            f"dynamic_fraction must be in [0, 1], got {dynamic_fraction}"
+        )
+    if cpu_cost_s < 0:
+        raise TraceError(f"cpu_cost_s must be >= 0, got {cpu_cost_s}")
+    if not 0.0 <= cost_spread <= 1.0:
+        raise TraceError(f"cost_spread must be in [0, 1], got {cost_spread}")
+    rng = np.random.default_rng(seed)
+    num_targets = trace.num_targets
+    count = int(dynamic_fraction * num_targets)
+    costs = np.zeros(num_targets, dtype=np.float64)
+    if count > 0 and cpu_cost_s > 0:
+        chosen = rng.choice(num_targets, size=count, replace=False)
+        low = cpu_cost_s * (1.0 - cost_spread)
+        high = cpu_cost_s * (1.0 + cost_spread)
+        costs[chosen] = rng.uniform(low, high, size=count)
+    return Trace(
+        trace.targets,
+        trace.sizes_by_target,
+        name=name if name is not None else f"{trace.name}+cgi",
+        cpu_cost_s_by_target=costs,
+    )
+
+
+def cgi_mix_trace(
+    num_requests: int = 200_000,
+    num_targets: int = 20_000,
+    total_bytes: int = 600 * 2**20,
+    zipf_alpha: float = 0.90,
+    dynamic_fraction: float = 0.10,
+    cpu_cost_s: float = 0.020,
+    cost_spread: float = 0.5,
+    size_sigma: float = 1.6,
+    size_popularity_correlation: float = -0.5,
+    min_file_bytes: int = 128,
+    max_file_bytes: int = 64 * 2**20,
+    seed: int = 107,
+    scale: float = 1.0,
+    name: str = "cgi-mix",
+) -> Trace:
+    """Static Zipf IRM with a CPU-bound (CGI) target fraction.
+
+    ``dynamic_fraction`` of the catalog is marked dynamic with a
+    size-independent CPU cost around ``cpu_cost_s`` seconds (paper
+    Section 2: dynamic content is compute-dominated and uncacheable);
+    the cluster charges it through
+    :meth:`repro.cluster.costs.CostModel.dynamic_service_time` and
+    counts it in ``SimulationResult.dynamic_requests``.
+    """
+    if num_requests < 0:
+        raise ValueError(f"negative request count: {num_requests}")
+    num_targets, total_bytes = _scaled(num_targets, total_bytes, scale)
+    rng = np.random.default_rng(seed)
+    popularity = zipf_weights(num_targets, zipf_alpha)
+    sizes = _catalog(
+        rng,
+        num_targets,
+        total_bytes,
+        size_sigma,
+        size_popularity_correlation,
+        min_file_bytes,
+        max_file_bytes,
+    )
+    tokens = rng.choice(num_targets, size=num_requests, p=popularity)
+    base = Trace(tokens, sizes, name=name)
+    return mark_dynamic_targets(
+        base,
+        dynamic_fraction,
+        cpu_cost_s,
+        cost_spread=cost_spread,
+        seed=seed,
+        name=name,
+    )
+
+
+def multi_tenant_trace(
+    num_requests: int = 200_000,
+    tenants: int = 3,
+    targets_per_tenant: int = 8_000,
+    bytes_per_tenant: int = 200 * 2**20,
+    zipf_alphas: Sequence[float] = (0.80, 1.00, 1.20),
+    tenant_weights: Sequence[float] = (0.5, 0.3, 0.2),
+    size_sigma: float = 1.6,
+    size_popularity_correlation: float = -0.5,
+    min_file_bytes: int = 128,
+    max_file_bytes: int = 64 * 2**20,
+    seed: int = 109,
+    scale: float = 1.0,
+    name: str = "multi-tenant",
+) -> Trace:
+    """K independent catalogs interleaved with per-tenant weights.
+
+    Tenant ``t`` owns a private ``targets_per_tenant``-document catalog
+    (tokens offset so catalogs never collide) with its own Zipf alpha;
+    each request picks its tenant by the normalized ``tenant_weights``
+    and then a document by the tenant's own popularity law.  The
+    aggregate working set is the union of per-tenant hot sets — the
+    shape that rewards partitioning policies and punishes uniform
+    striping.
+    """
+    if num_requests < 0:
+        raise ValueError(f"negative request count: {num_requests}")
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    if len(zipf_alphas) != tenants or len(tenant_weights) != tenants:
+        raise ValueError(
+            f"zipf_alphas and tenant_weights must each have {tenants} entries"
+        )
+    weights = np.asarray(tenant_weights, dtype=np.float64)
+    if np.any(weights <= 0):
+        raise ValueError("tenant_weights must all be positive")
+    weights = weights / weights.sum()
+    per_targets = max(1, int(targets_per_tenant * scale))
+    per_bytes = max(1, int(bytes_per_tenant * scale))
+    rng = np.random.default_rng(seed)
+    size_tables = [
+        _catalog(
+            rng,
+            per_targets,
+            per_bytes,
+            size_sigma,
+            size_popularity_correlation,
+            min_file_bytes,
+            max_file_bytes,
+        )
+        for _ in range(tenants)
+    ]
+    sizes = np.concatenate(size_tables)
+    tenant_of = rng.choice(tenants, size=num_requests, p=weights)
+    tokens = np.empty(num_requests, dtype=np.int64)
+    for tenant in range(tenants):
+        mask = tenant_of == tenant
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        popularity = zipf_weights(per_targets, float(zipf_alphas[tenant]))
+        tokens[mask] = tenant * per_targets + rng.choice(
+            per_targets, size=count, p=popularity
+        )
+    return Trace(tokens, sizes, name=name)

@@ -3,9 +3,10 @@
 Parsing multi-million-line logs (or regenerating synthetic traces) once
 and replaying them many times is the normal workflow, so traces serialize
 to a single compressed numpy archive: the token stream, the size table,
-and the name.  Loading is validated by the :class:`~repro.workload.trace.
-Trace` constructor, so a corrupted file cannot produce an inconsistent
-trace object.
+the name, and (format 2) the optional per-target dynamic CPU-cost table.
+Loading is validated by the :class:`~repro.workload.trace.Trace`
+constructor, so a corrupted file cannot produce an inconsistent trace
+object.
 """
 
 from __future__ import annotations
@@ -19,7 +20,11 @@ from .trace import Trace, TraceError
 
 __all__ = ["save_trace", "load_trace"]
 
-_FORMAT_VERSION = 1
+#: Format 2 adds the optional ``cpu_cost_s_by_target`` array (dynamic/CGI
+#: catalogs).  Static traces are still written as format 1, so archives
+#: produced by this version stay readable by older loaders.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
@@ -28,13 +33,17 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
+    arrays = dict(
         targets=trace.targets,
         sizes_by_target=trace.sizes_by_target,
         name=np.bytes_(trace.name.encode("utf-8")),
     )
+    if trace.cpu_cost_s_by_target is not None:
+        arrays["cpu_cost_s_by_target"] = trace.cpu_cost_s_by_target
+        version = _FORMAT_VERSION
+    else:
+        version = 1
+    np.savez_compressed(path, version=np.int64(version), **arrays)
     return path
 
 
@@ -50,8 +59,13 @@ def load_trace(path: Union[str, Path]) -> Trace:
                 name = bytes(archive["name"]).decode("utf-8")
             except KeyError as missing:
                 raise TraceError(f"{path}: not a trace archive (missing {missing})")
+            cpu_costs = (
+                archive["cpu_cost_s_by_target"]
+                if "cpu_cost_s_by_target" in archive
+                else None
+            )
     except (OSError, ValueError) as exc:
         raise TraceError(f"{path}: cannot read trace archive: {exc}") from exc
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise TraceError(f"{path}: unsupported trace format version {version}")
-    return Trace(targets, sizes, name=name)
+    return Trace(targets, sizes, name=name, cpu_cost_s_by_target=cpu_costs)

@@ -34,13 +34,23 @@ _LOG_LINE = re.compile(
 
 @dataclass
 class LogParseStats:
-    """What happened while parsing a log stream."""
+    """What happened while parsing a log stream.
+
+    Every physical line lands in exactly one bucket, so the conservation
+    identity ``lines == parsed + malformed + skipped_method +
+    skipped_status + blank`` always holds.  ``zero_size_first_seen``
+    counts targets that entered the catalog at size 0 (e.g. a 304 seen
+    before any 200) — their size stays 0 unless a later observation
+    enlarges it retroactively through the shared catalog.
+    """
 
     lines: int = 0
     parsed: int = 0
     malformed: int = 0
     skipped_method: int = 0
     skipped_status: int = 0
+    blank: int = 0
+    zero_size_first_seen: int = 0
 
     def as_dict(self) -> dict:
         """Counters as a plain dict (for logging/CSV)."""
@@ -50,6 +60,8 @@ class LogParseStats:
             "malformed": self.malformed,
             "skipped_method": self.skipped_method,
             "skipped_status": self.skipped_status,
+            "blank": self.blank,
+            "zero_size_first_seen": self.zero_size_first_seen,
         }
 
 
@@ -62,21 +74,31 @@ def _iter_lines(source: Union[str, TextIO, Iterable[str]]) -> Iterable[str]:
 def tokenize_entries(
     entries: Iterable[Tuple[str, int]],
     name: str = "log",
+    stats: Optional[LogParseStats] = None,
 ) -> Trace:
     """Turn ``(url, size)`` pairs into a :class:`Trace`.
 
     Later observations of a URL may enlarge (never shrink) its recorded
-    size; zero-byte observations (e.g. 304 responses) reuse the known size.
+    size; zero-byte observations (e.g. 304 responses) reuse the known
+    size, and the enlargement is retroactive: every request shares the
+    catalog, so earlier requests for the URL see the later size too.
+    Negative sizes are rejected (they used to be silently clamped to 0).
+    When ``stats`` is given, targets first seen at size 0 are counted in
+    ``stats.zero_size_first_seen``.
     """
     token_of: Dict[str, int] = {}
     sizes: List[int] = []
     tokens: List[int] = []
     for url, size in entries:
+        if size < 0:
+            raise ValueError(f"negative size {size} for {url!r}")
         token = token_of.get(url)
         if token is None:
             token = len(sizes)
             token_of[url] = token
-            sizes.append(max(size, 0))
+            sizes.append(size)
+            if size == 0 and stats is not None:
+                stats.zero_size_first_seen += 1
         elif size > sizes[token]:
             sizes[token] = size
         tokens.append(token)
@@ -114,10 +136,11 @@ def parse_common_log(
     status_filter = frozenset(int(status) for status in statuses)
     entries: List[Tuple[str, int]] = []
     for line in _iter_lines(source):
+        stats.lines += 1
         line = line.strip()
         if not line:
+            stats.blank += 1
             continue
-        stats.lines += 1
         match = _LOG_LINE.match(line)
         if not match:
             stats.malformed += 1
@@ -140,4 +163,4 @@ def parse_common_log(
         stats.parsed += 1
     if not entries:
         raise ValueError("log contained no usable requests")
-    return tokenize_entries(entries, name=name), stats
+    return tokenize_entries(entries, name=name, stats=stats), stats

@@ -23,6 +23,13 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
+from .dynamic import (
+    cgi_mix_trace,
+    diurnal_trace,
+    drift_trace,
+    flash_crowd_trace,
+    multi_tenant_trace,
+)
 from .io import load_trace, save_trace
 from .synthetic import chess_like_trace, ibm_like_trace, rice_like_trace, synthesize_trace
 from .trace import Trace, TraceError
@@ -36,8 +43,10 @@ __all__ = [
 ]
 
 #: Bump when any generator's output changes for identical parameters, so
-#: stale cache entries from older code are never reused.
-_MEMO_VERSION = 1
+#: stale cache entries from older code are never reused.  2: the dynamic
+#: generator family (flash/diurnal/drift/cgi/tenants) joined the registry
+#: and archives may carry the format-2 ``cpu_cost_s_by_target`` table.
+_MEMO_VERSION = 2
 
 #: Values of ``$REPRO_TRACE_CACHE`` that turn the disk cache off.
 _DISABLED = {"", "0", "off", "none", "disabled"}
@@ -47,6 +56,11 @@ TRACE_GENERATORS: Dict[str, Callable[..., Trace]] = {
     "ibm": ibm_like_trace,
     "chess": chess_like_trace,
     "synthetic": synthesize_trace,
+    "flash": flash_crowd_trace,
+    "diurnal": diurnal_trace,
+    "drift": drift_trace,
+    "cgi": cgi_mix_trace,
+    "tenants": multi_tenant_trace,
 }
 
 

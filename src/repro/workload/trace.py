@@ -42,6 +42,12 @@ class Trace:
         ``sizes_by_target[t]`` is the byte size of target ``t``.
     name:
         Human-readable label (used in reports).
+    cpu_cost_s_by_target:
+        Optional per-target CPU service cost in seconds (at unit CPU
+        speed).  A target with cost ``> 0`` models a dynamic/CGI request
+        per Section 2 of the paper: its service time is dominated by
+        computation, independent of the response size, and its output is
+        uncacheable.  ``None`` (the default) means an all-static catalog.
     """
 
     def __init__(
@@ -49,6 +55,7 @@ class Trace:
         targets: Sequence[int],
         sizes_by_target: Sequence[int],
         name: str = "trace",
+        cpu_cost_s_by_target: Optional[Sequence[float]] = None,
     ) -> None:
         self.targets = np.asarray(targets, dtype=np.int64)
         self.sizes_by_target = np.asarray(sizes_by_target, dtype=np.int64)
@@ -63,6 +70,18 @@ class Trace:
             self.targets.min() < 0 or self.targets.max() >= len(self.sizes_by_target)
         ):
             raise TraceError("request token outside the target catalog")
+        self.cpu_cost_s_by_target: Optional[np.ndarray]
+        if cpu_cost_s_by_target is None:
+            self.cpu_cost_s_by_target = None
+        else:
+            costs = np.asarray(cpu_cost_s_by_target, dtype=np.float64)
+            if costs.ndim != 1 or len(costs) != len(self.sizes_by_target):
+                raise TraceError(
+                    "cpu_cost_s_by_target must be 1-D with one entry per target"
+                )
+            if not np.all(np.isfinite(costs)) or np.any(costs < 0):
+                raise TraceError("cpu_cost_s_by_target entries must be finite and >= 0")
+            self.cpu_cost_s_by_target = costs
 
     # -- basic container protocol --------------------------------------------
 
@@ -81,15 +100,40 @@ class Trace:
     # -- derived views ---------------------------------------------------------
 
     def head(self, n: int) -> "Trace":
-        """First ``n`` requests over the same catalog."""
-        return Trace(self.targets[:n], self.sizes_by_target, name=f"{self.name}[:{n}]")
+        """First ``n`` requests over the same catalog.
+
+        ``n`` must be in ``0..len(self)``; out-of-range values raise
+        :class:`TraceError` rather than silently clamping (numpy slicing
+        would otherwise yield a misleadingly-named, possibly empty trace).
+        """
+        if not 0 <= n <= len(self):
+            raise TraceError(
+                f"head({n}) out of range for {len(self)}-request trace {self.name!r}"
+            )
+        return Trace(
+            self.targets[:n],
+            self.sizes_by_target,
+            name=f"{self.name}[:{n}]",
+            cpu_cost_s_by_target=self.cpu_cost_s_by_target,
+        )
 
     def slice(self, start: int, stop: int) -> "Trace":
-        """Requests ``start..stop`` over the same catalog."""
+        """Requests ``start..stop`` over the same catalog.
+
+        Bounds must satisfy ``0 <= start <= stop <= len(self)``; negative
+        or out-of-range indices raise :class:`TraceError` instead of being
+        reinterpreted or clamped by numpy slicing semantics.
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise TraceError(
+                f"slice({start}, {stop}) out of range for "
+                f"{len(self)}-request trace {self.name!r}"
+            )
         return Trace(
             self.targets[start:stop],
             self.sizes_by_target,
             name=f"{self.name}[{start}:{stop}]",
+            cpu_cost_s_by_target=self.cpu_cost_s_by_target,
         )
 
     def request_sizes(self) -> np.ndarray:
@@ -133,7 +177,34 @@ class Trace:
             cache[unit_bytes] = units
         return units
 
+    def dynamic_cost_list(self) -> Optional[List[float]]:
+        """Per-target CPU cost as a plain list, memoized — or ``None``.
+
+        Returns ``None`` when the catalog is all-static (no cost table,
+        or every cost is zero) so callers can branch once per run instead
+        of once per request.  The memoized list is a single shared object
+        per trace: every backend node of one simulation (and the fast
+        path) hold the *same* list, which is what the fast-path
+        eligibility gate's identity check relies on.
+        """
+        if self.cpu_cost_s_by_target is None:
+            return None
+        cached = getattr(self, "_dynamic_cost_list", None)
+        if cached is None:
+            if not np.any(self.cpu_cost_s_by_target > 0):
+                return None
+            cached = self.cpu_cost_s_by_target.tolist()
+            self._dynamic_cost_list = cached
+        return cached
+
     # -- aggregate statistics ----------------------------------------------------
+
+    @property
+    def has_dynamic(self) -> bool:
+        """True when at least one target carries a CPU (CGI) service cost."""
+        return self.cpu_cost_s_by_target is not None and bool(
+            np.any(self.cpu_cost_s_by_target > 0)
+        )
 
     @property
     def num_requests(self) -> int:

@@ -92,9 +92,42 @@ def test_accepts_file_object():
     assert len(trace) == 1
 
 
-def test_blank_lines_skipped():
+def test_blank_lines_counted():
+    # "\n\n<LINE>\n\n" splits into four physical lines: three blank, one
+    # parsed.  Every physical line must be counted (regression: blanks
+    # used to be skipped before the line counter).
     trace, stats = parse_common_log("\n\n" + LINE + "\n\n")
-    assert stats.lines == 1
+    assert stats.lines == 4
+    assert stats.blank == 3
+    assert stats.parsed == 1
+    assert len(trace) == 1
+
+
+def test_line_counter_conservation_identity():
+    # Every physical line lands in exactly one bucket.
+    log = "\n".join(
+        [
+            "",
+            LINE,
+            "garbage line",
+            "",
+            '1.1.1.1 - - [x] "POST /form HTTP/1.0" 200 10',
+            '1.1.1.1 - - [x] "GET /missing HTTP/1.0" 404 0',
+            "   ",
+            LINE,
+        ]
+    )
+    _, stats = parse_common_log(log)
+    assert stats.lines == 8
+    assert stats.lines == (
+        stats.parsed
+        + stats.malformed
+        + stats.skipped_method
+        + stats.skipped_status
+        + stats.blank
+    )
+    assert stats.blank == 3
+    assert stats.as_dict()["blank"] == 3
 
 
 def test_empty_log_rejected():
@@ -125,3 +158,46 @@ def test_tokenize_entries_direct():
 def test_tokenize_empty_rejected():
     with pytest.raises(ValueError):
         tokenize_entries([])
+
+
+def test_tokenize_negative_size_rejected():
+    # Regression: a negative size used to be silently clamped to 0.
+    with pytest.raises(ValueError, match=r"negative size -7 for '/a'"):
+        tokenize_entries([("/a", -7)])
+    with pytest.raises(ValueError, match="negative size"):
+        tokenize_entries([("/a", 10), ("/a", -1)])
+
+
+def test_tokenize_counts_zero_size_first_seen():
+    from repro.workload import LogParseStats
+
+    stats = LogParseStats()
+    tokenize_entries(
+        [("/a", 0), ("/b", 5), ("/c", 0), ("/a", 9)], stats=stats
+    )
+    # /a and /c entered the catalog at size 0 (e.g. a 304 seen before any
+    # 200); /a's later 200 does not undo the first-seen count.
+    assert stats.zero_size_first_seen == 2
+    assert stats.as_dict()["zero_size_first_seen"] == 2
+
+
+def test_late_size_enlargement_is_retroactive():
+    # A 304-first URL sits at size 0 until a 200 arrives; because every
+    # request shares the catalog, the earlier requests' sizes are updated
+    # retroactively through it.
+    trace = tokenize_entries([("/a", 0), ("/b", 5), ("/a", 700)])
+    assert trace.sizes_by_target.tolist() == [700, 5]
+    assert trace[0].size == 700  # first request sees the late 200 size
+    assert [r.size for r in trace] == [700, 5, 700]
+
+
+def test_parse_log_counts_zero_size_first_seen():
+    log = "\n".join(
+        [
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 304 -',
+            '1.1.1.1 - - [x] "GET /a HTTP/1.0" 200 5000',
+        ]
+    )
+    trace, stats = parse_common_log(log)
+    assert stats.zero_size_first_seen == 1
+    assert trace.sizes_by_target[0] == 5000

@@ -1,5 +1,7 @@
 """Tests for disk-backed trace memoization (repro.workload.memo)."""
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,7 @@ from repro.workload import (
     trace_cache_dir,
     trace_cache_key,
 )
-from repro.workload.memo import TRACE_GENERATORS
+from repro.workload.memo import _DISABLED, _MEMO_VERSION, TRACE_GENERATORS
 
 
 class TestCacheKey:
@@ -49,6 +51,43 @@ class TestCachedTrace:
         trace = cached_trace("chess", cache_dir=tmp_path, num_requests=500)
         assert len(trace) == 500
 
+    def test_stale_format_entry_regenerated(self, tmp_path):
+        good = cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        (entry,) = tmp_path.glob("*.npz")
+        # Rewrite the entry as a future trace-format version: the loader
+        # must refuse it and cached_trace must regenerate, not crash.
+        np.savez_compressed(
+            entry,
+            version=np.int64(99),
+            targets=good.targets,
+            sizes_by_target=good.sizes_by_target,
+            name=np.bytes_(b"chess"),
+        )
+        trace = cached_trace("chess", cache_dir=tmp_path, num_requests=500)
+        assert np.array_equal(trace.targets, good.targets)
+        with np.load(entry) as archive:
+            assert int(archive["version"]) != 99  # entry was rewritten
+
+    def test_dynamic_trace_roundtrips_cost_table(self, tmp_path):
+        fresh = cached_trace(
+            "cgi",
+            cache_dir=tmp_path,
+            num_requests=500,
+            num_targets=100,
+            total_bytes=2**20,
+        )
+        reloaded = cached_trace(
+            "cgi",
+            cache_dir=tmp_path,
+            num_requests=500,
+            num_targets=100,
+            total_bytes=2**20,
+        )
+        assert fresh.cpu_cost_s_by_target is not None
+        assert np.array_equal(
+            fresh.cpu_cost_s_by_target, reloaded.cpu_cost_s_by_target
+        )
+
     def test_refresh_rewrites(self, tmp_path):
         cached_trace("chess", cache_dir=tmp_path, num_requests=500)
         (entry,) = tmp_path.glob("*.npz")
@@ -68,6 +107,16 @@ class TestCachedTrace:
 
 
 class TestEnvironmentControl:
+    @pytest.mark.parametrize("sentinel", sorted(_DISABLED))
+    def test_every_disabled_sentinel(self, sentinel, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", sentinel)
+        assert trace_cache_dir() is None
+
+    @pytest.mark.parametrize("sentinel", ["OFF", " none ", "Disabled"])
+    def test_sentinels_are_case_and_space_insensitive(self, sentinel, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", sentinel)
+        assert trace_cache_dir() is None
+
     def test_disabled_via_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
         assert trace_cache_dir() is None
@@ -84,3 +133,76 @@ class TestEnvironmentControl:
         monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
         assert trace_cache_dir() == tmp_path / "repro-lard" / "traces"
+
+
+# Canonical small invocation per registered generator, used by the
+# golden-digest gate below.  Every TRACE_GENERATORS entry must appear.
+_GOLDEN_PARAMS = {
+    "rice": dict(num_requests=500, scale=0.05),
+    "ibm": dict(num_requests=500, scale=0.05),
+    "chess": dict(num_requests=500),
+    "synthetic": dict(
+        num_requests=500, num_targets=100, total_bytes=2**20, zipf_alpha=1.0, seed=3
+    ),
+    "flash": dict(num_requests=500, num_targets=100, total_bytes=2**20),
+    "diurnal": dict(num_requests=500, num_targets=100, total_bytes=2**20),
+    "drift": dict(num_requests=500, num_targets=100, total_bytes=2**20),
+    "cgi": dict(num_requests=500, num_targets=100, total_bytes=2**20),
+    "tenants": dict(num_requests=500, targets_per_tenant=50, bytes_per_tenant=2**19),
+}
+
+# Content digests of the canonical invocations, keyed by _MEMO_VERSION.
+# Changing any generator's output for identical parameters is a cache
+# compatibility break: re-record the digests here under a BUMPED
+# _MEMO_VERSION (never edit an existing version's digests in place).
+_GOLDEN_DIGESTS = {
+    2: {
+        "rice": "ff5037047e4f25a5",
+        "ibm": "136a6db658c71583",
+        "chess": "a40bd63c8474e791",
+        "synthetic": "5352921aa36904d3",
+        "flash": "de68a6987dc7554a",
+        "diurnal": "aba636f4863248fc",
+        "drift": "7f216e40caed5edc",
+        "cgi": "0046b8840af0c9b5",
+        "tenants": "884722083a4ac4ad",
+    },
+}
+
+
+def _content_digest(trace):
+    digest = hashlib.sha256()
+    digest.update(trace.targets.tobytes())
+    digest.update(trace.sizes_by_target.tobytes())
+    if trace.cpu_cost_s_by_target is not None:
+        digest.update(trace.cpu_cost_s_by_target.tobytes())
+    return digest.hexdigest()[:16]
+
+
+class TestMemoVersionGoldenDigests:
+    def test_current_version_has_goldens(self):
+        assert _MEMO_VERSION in _GOLDEN_DIGESTS, (
+            f"_MEMO_VERSION was bumped to {_MEMO_VERSION}: record the new "
+            "golden digests in tests/test_workload_memo.py"
+        )
+
+    def test_every_generator_has_a_golden(self):
+        assert set(_GOLDEN_PARAMS) == set(TRACE_GENERATORS)
+        assert set(_GOLDEN_DIGESTS[_MEMO_VERSION]) == set(TRACE_GENERATORS)
+
+    @pytest.mark.parametrize("kind", sorted(_GOLDEN_PARAMS))
+    def test_generator_output_matches_golden(self, kind):
+        trace = TRACE_GENERATORS[kind](**_GOLDEN_PARAMS[kind])
+        assert _content_digest(trace) == _GOLDEN_DIGESTS[_MEMO_VERSION][kind], (
+            f"generator {kind!r} now produces different output for identical "
+            "parameters; bump _MEMO_VERSION in repro/workload/memo.py and "
+            "re-record the golden digests (stale disk-cache entries would "
+            "otherwise be replayed as current)"
+        )
+
+    def test_cache_key_depends_on_memo_version(self, monkeypatch):
+        import repro.workload.memo as memo
+
+        before = trace_cache_key("rice", {"num_requests": 100})
+        monkeypatch.setattr(memo, "_MEMO_VERSION", _MEMO_VERSION + 1)
+        assert trace_cache_key("rice", {"num_requests": 100}) != before

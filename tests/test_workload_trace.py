@@ -55,6 +55,40 @@ def test_head_and_slice_share_catalog():
     assert [r.target for r in middle] == [1, 0]
 
 
+class TestHeadSliceBounds:
+    """Regression tests: head/slice used to clamp silently via numpy."""
+
+    def test_head_beyond_length_rejected(self):
+        with pytest.raises(TraceError, match=r"head\(6\)"):
+            _trace().head(6)
+
+    def test_head_negative_rejected(self):
+        with pytest.raises(TraceError, match=r"head\(-1\)"):
+            _trace().head(-1)
+
+    def test_head_full_length_allowed(self):
+        assert len(_trace().head(5)) == 5
+        assert len(_trace().head(0)) == 0
+
+    def test_slice_start_after_stop_rejected(self):
+        with pytest.raises(TraceError, match=r"slice\(3, 1\)"):
+            _trace().slice(3, 1)
+
+    def test_slice_stop_beyond_length_rejected(self):
+        with pytest.raises(TraceError, match=r"slice\(0, 9\)"):
+            _trace().slice(0, 9)
+
+    def test_slice_negative_indices_rejected(self):
+        with pytest.raises(TraceError, match=r"slice\(-1, 3\)"):
+            _trace().slice(-1, 3)
+        with pytest.raises(TraceError, match=r"slice\(0, -1\)"):
+            _trace().slice(0, -1)
+
+    def test_slice_full_range_allowed(self):
+        assert len(_trace().slice(0, 5)) == 5
+        assert len(_trace().slice(2, 2)) == 0
+
+
 def test_request_sizes_vectorized():
     assert _trace().request_sizes().tolist() == [100, 200, 100, 300, 100]
 
